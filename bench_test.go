@@ -1,0 +1,190 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the ablation benches called out in DESIGN.md. Each bench runs its
+// experiment at QuickScale (about 10× shorter than the paper's runs; use
+// cmd/optosim -full for full-scale numbers) and reports the headline
+// metric of that experiment via b.ReportMetric.
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func quick() experiments.Scale { return experiments.QuickScale() }
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2()
+		if len(rows) != 5 {
+			b.Fatalf("table 2 has %d rows", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig5WindowSweep(b *testing.B) {
+	var plp float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig5WindowSweep(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		plp = bestPLP(pts)
+	}
+	b.ReportMetric(plp, "bestPLP")
+}
+
+func BenchmarkFig5ThresholdSweep(b *testing.B) {
+	var plp float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig5ThresholdSweep(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		plp = bestPLP(pts)
+	}
+	b.ReportMetric(plp, "bestPLP")
+}
+
+func bestPLP(pts []experiments.Fig5Point) float64 {
+	best := 0.0
+	for i, p := range pts {
+		if i == 0 || p.PLP < best {
+			best = p.PLP
+		}
+	}
+	return best
+}
+
+func BenchmarkFig5G(b *testing.B) {
+	var maxThr float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig5G(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxThr = 0
+		for _, p := range pts {
+			if p.Config == "PA 5-10 Gb/s" && p.Throughput > maxThr {
+				maxThr = p.Throughput
+			}
+		}
+	}
+	b.ReportMetric(maxThr, "PA5-10_thr")
+}
+
+func BenchmarkFig5H(b *testing.B) {
+	var minPower float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig5H(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		minPower = 1
+		for _, p := range pts {
+			if p.NormPower < minPower {
+				minPower = p.NormPower
+			}
+		}
+	}
+	b.ReportMetric(minPower, "minNormPower")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = r.Power[0].Series.MeanV()
+	}
+	b.ReportMetric(worst, "vcselNormPower")
+}
+
+func benchFig7(b *testing.B, bench trace.Benchmark) {
+	var power float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(quick(), bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		power = r.AvgNormPower
+	}
+	b.ReportMetric(power, "normPower")
+}
+
+func BenchmarkFig7FFT(b *testing.B)   { benchFig7(b, trace.FFT) }
+func BenchmarkFig7LU(b *testing.B)    { benchFig7(b, trace.LU) }
+func BenchmarkFig7Radix(b *testing.B) { benchFig7(b, trace.Radix) }
+
+func BenchmarkTable3(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig7All(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = 0
+		for _, r := range rs {
+			saving += (1 - r.AvgNormPower) / float64(len(rs))
+		}
+	}
+	b.ReportMetric(saving*100, "avgSaving%")
+}
+
+func benchAblation(b *testing.B, f func(experiments.Scale) ([]experiments.AblationRow, error)) {
+	for i := 0; i < b.N; i++ {
+		rows, err := f(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("ablation produced no rows")
+		}
+	}
+}
+
+func BenchmarkAblationLuDef(b *testing.B)     { benchAblation(b, experiments.AblationLuDef) }
+func BenchmarkAblationSlidingN(b *testing.B)  { benchAblation(b, experiments.AblationSlidingN) }
+func BenchmarkAblationBu(b *testing.B)        { benchAblation(b, experiments.AblationBu) }
+func BenchmarkAblationLevels(b *testing.B)    { benchAblation(b, experiments.AblationLevels) }
+func BenchmarkAblationOnOff(b *testing.B)     { benchAblation(b, experiments.AblationOnOff) }
+func BenchmarkAblationPredictor(b *testing.B) { benchAblation(b, experiments.AblationPredictor) }
+func BenchmarkAblationRouting(b *testing.B)   { benchAblation(b, experiments.AblationRouting) }
+
+func BenchmarkPatterns(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Patterns(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 1
+		for _, r := range rows {
+			if r.NormPower < best {
+				best = r.NormPower
+			}
+		}
+	}
+	b.ReportMetric(best, "bestNormPower")
+}
+
+func BenchmarkThroughput(b *testing.B) {
+	var nonPA float64
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Throughput(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Config == "non-power-aware" {
+				nonPA = r.SaturationRate
+			}
+		}
+	}
+	b.ReportMetric(nonPA, "nonPA_satRate")
+}

@@ -1,0 +1,81 @@
+// Command linkcalc explores a single power-aware opto-electronic link: the
+// per-component power models of Section 2 (Table 2), the power ladder
+// across bit-rate levels, and the optical link budget of the external-laser
+// distribution tree (Fig. 3).
+//
+// Usage:
+//
+//	linkcalc [-scheme vcsel|modulator] [-min 5] [-max 10] [-levels 6] [-laser 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/linkmodel"
+	"repro/internal/optics"
+	"repro/internal/powerlink"
+	"repro/internal/report"
+)
+
+func main() {
+	scheme := flag.String("scheme", "vcsel", "transmitter scheme: vcsel or modulator")
+	min := flag.Float64("min", 5, "minimum bit rate (Gb/s)")
+	max := flag.Float64("max", 10, "maximum bit rate (Gb/s)")
+	levels := flag.Int("levels", 6, "number of bit-rate levels")
+	laserW := flag.Float64("laser", 0.5, "external laser power (W) for the budget check")
+	flag.Parse()
+
+	var s linkmodel.Scheme
+	switch *scheme {
+	case "vcsel":
+		s = linkmodel.SchemeVCSEL
+	case "modulator":
+		s = linkmodel.SchemeModulator
+	default:
+		fmt.Fprintf(os.Stderr, "linkcalc: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	fmt.Println(experiments.Table2Report().String())
+
+	p := linkmodel.DefaultParams()
+	ladder := report.NewTable(
+		fmt.Sprintf("Power ladder: %s link, %d levels over %g-%g Gb/s", s, *levels, *min, *max),
+		"bit rate (Gb/s)", "Vdd (V)", "Tx (mW)", "Rx (mW)", "total (mW)", "vs 10 Gb/s")
+	top := p.LinkPowerAt(s, *max)
+	for _, br := range powerlink.Levels(*min, *max, *levels) {
+		vdd := p.VddAt(br)
+		tx := p.TxPower(s, br, vdd, p.ModInputOpticalW)
+		rx := p.RxPower(br, vdd)
+		ladder.AddRowf(br, vdd, tx*1e3, rx*1e3, (tx+rx)*1e3,
+			fmt.Sprintf("%.1f%%", (tx+rx)/top*100))
+	}
+	fmt.Println(ladder.String())
+
+	// Optical budget of the paper's 1:64 × 1:20 distribution.
+	budget := optics.PaperBudget(*laserW, 3.0)
+	bt := report.NewTable("Optical budget: external laser through 1:64 and 1:20 splitters",
+		"quantity", "value")
+	bt.AddRowf("laser power", fmt.Sprintf("%.2f dBm", optics.DBm(*laserW)))
+	bt.AddRowf("total path loss", fmt.Sprintf("%.2f dB", budget.TotalLossDB()))
+	bt.AddRowf("received power", fmt.Sprintf("%.2f dBm (%.1f µW)",
+		optics.DBm(budget.ReceivedPowerW()), budget.ReceivedPowerW()*1e6))
+	for _, br := range []float64{*min, *max} {
+		sens := p.RecvSensitivityAt(br)
+		bt.AddRowf(fmt.Sprintf("margin @%g Gb/s (sens %.1f µW)", br, sens*1e6),
+			fmt.Sprintf("%.2f dB", budget.MarginDB(sens)))
+	}
+	if err := budget.Check(p.RecvSensitivityAt(*max), 0); err != nil {
+		bt.AddRowf("budget check", err.Error())
+	} else {
+		bt.AddRowf("budget check", "CLOSES at max bit rate")
+	}
+	q := optics.QFromBER(1e-12)
+	bt.AddRowf("Q for BER 1e-12", fmt.Sprintf("%.2f", q))
+	bt.AddRowf("laser capacity (links @25µW, 10 dB excess)",
+		fmt.Sprint(optics.LaserCapacity(*laserW, 10, 25e-6)))
+	fmt.Println(bt.String())
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+// namedChart pairs a chart with its output file stem.
+type namedChart struct {
+	stem  string
+	chart *plot.Chart
+}
+
+// seriesXY converts a stats.Series into plot vectors.
+func seriesXY(s stats.Series) (x, y []float64) {
+	for _, p := range s {
+		x = append(x, float64(p.T))
+		y = append(y, p.V)
+	}
+	return x, y
+}
+
+// chartsFig5G builds the Fig 5(g) latency and throughput charts.
+func chartsFig5G(pts []experiments.Fig5GPoint) []namedChart {
+	lat := &plot.Chart{Title: "Fig 5(g): latency vs injection rate", XLabel: "injection rate (pkt/cycle)", YLabel: "latency (cycles)", LogY: true}
+	thr := &plot.Chart{Title: "Fig 5(g): delivered throughput", XLabel: "injection rate (pkt/cycle)", YLabel: "throughput (pkt/cycle)"}
+	byCfg := map[string][]experiments.Fig5GPoint{}
+	var order []string
+	for _, p := range pts {
+		if _, seen := byCfg[p.Config]; !seen {
+			order = append(order, p.Config)
+		}
+		byCfg[p.Config] = append(byCfg[p.Config], p)
+	}
+	for _, cfg := range order {
+		var x, yl, yt []float64
+		for _, p := range byCfg[cfg] {
+			x = append(x, p.Rate)
+			yl = append(yl, p.LatencyCyc)
+			yt = append(yt, p.Throughput)
+		}
+		lat.Add(cfg, x, yl)
+		thr.Add(cfg, x, yt)
+	}
+	return []namedChart{{"fig5g_latency", lat}, {"fig5g_throughput", thr}}
+}
+
+// chartsFig5H builds the Fig 5(h) power chart.
+func chartsFig5H(pts []experiments.Fig5GPoint) []namedChart {
+	pw := &plot.Chart{Title: "Fig 5(h): normalised power vs injection rate", XLabel: "injection rate (pkt/cycle)", YLabel: "normalised power", YMin: 0, YMax: 1}
+	byCfg := map[string][]experiments.Fig5GPoint{}
+	var order []string
+	for _, p := range pts {
+		if _, seen := byCfg[p.Config]; !seen {
+			order = append(order, p.Config)
+		}
+		byCfg[p.Config] = append(byCfg[p.Config], p)
+	}
+	for _, cfg := range order {
+		var x, y []float64
+		for _, p := range byCfg[cfg] {
+			x = append(x, p.Rate)
+			y = append(y, p.NormPower)
+		}
+		pw.Add(cfg, x, y)
+	}
+	return []namedChart{{"fig5h_power", pw}}
+}
+
+// chartsFig6 builds the four Fig 6 panels.
+func chartsFig6(r *experiments.Fig6Result) []namedChart {
+	inj := &plot.Chart{Title: "Fig 6(a): hot-spot injection over time", XLabel: "cycle", YLabel: "packets/cycle"}
+	x, y := seriesXY(r.Injection)
+	inj.Add("offered", x, y)
+
+	panel := func(title string, curves []experiments.Fig6Series, logY bool) *plot.Chart {
+		c := &plot.Chart{Title: title, XLabel: "cycle", YLabel: "latency (cycles)", LogY: logY}
+		for _, s := range curves {
+			sx, sy := seriesXY(s.Series)
+			c.Add(s.Name, sx, sy)
+		}
+		return c
+	}
+	pw := &plot.Chart{Title: "Fig 6(d): normalised power over time", XLabel: "cycle", YLabel: "normalised power", YMin: 0, YMax: 1}
+	for _, s := range r.Power {
+		sx, sy := seriesXY(s.Series)
+		pw.Add(s.Name, sx, sy)
+	}
+	return []namedChart{
+		{"fig6a_injection", inj},
+		{"fig6b_latency_delays", panel("Fig 6(b): latency, transition-delay ablation", r.LatencyDelays, true)},
+		{"fig6c_latency_optical", panel("Fig 6(c): latency, optical levels", r.LatencyOptical, true)},
+		{"fig6d_power", pw},
+	}
+}
+
+// chartsFig7 builds one benchmark's pair of panels.
+func chartsFig7(r *experiments.Fig7Result) []namedChart {
+	inj := &plot.Chart{Title: fmt.Sprintf("Fig 7 (%v): injection rate", r.Benchmark), XLabel: "cycle", YLabel: "packets/cycle"}
+	x, y := seriesXY(r.Injection)
+	inj.Add("offered", x, y)
+	pw := &plot.Chart{Title: fmt.Sprintf("Fig 7 (%v): normalised power", r.Benchmark), XLabel: "cycle", YLabel: "normalised power", YMin: 0, YMax: 1}
+	px, py := seriesXY(r.NormPower)
+	pw.Add("power-aware", px, py)
+	return []namedChart{
+		{fmt.Sprintf("fig7_%v_injection", r.Benchmark), inj},
+		{fmt.Sprintf("fig7_%v_power", r.Benchmark), pw},
+	}
+}
+
+// writeCharts renders charts into dir as <stem>.svg.
+func writeCharts(dir string, charts []namedChart) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, nc := range charts {
+		path := filepath.Join(dir, nc.stem+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := nc.chart.WriteSVG(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Command tracegen materialises the synthetic SPLASH-2-like traffic traces
+// (see DESIGN.md "Substitutions") into binary trace files, and can inspect
+// existing files.
+//
+// Usage:
+//
+//	tracegen -bench fft -o fft.trc [-nodes 64] [-cycles 1200000] [-seed 1]
+//	tracegen -inspect fft.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to synthesise: fft, lu, radix")
+	out := flag.String("o", "", "output trace file")
+	nodes := flag.Int("nodes", 64, "node count")
+	cycles := flag.Int64("cycles", int64(trace.DefaultLength), "trace length in cycles")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	inspect := flag.String("inspect", "", "trace file to summarise")
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		if err := doInspect(*inspect); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+	case *bench != "" && *out != "":
+		if err := doGenerate(*bench, *out, *nodes, sim.Cycle(*cycles), *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseBench(name string) (trace.Benchmark, error) {
+	for _, b := range trace.Benchmarks() {
+		if b.String() == name {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown benchmark %q (want fft, lu, or radix)", name)
+}
+
+func doGenerate(bench, out string, nodes int, cycles sim.Cycle, seed uint64) error {
+	b, err := parseBench(bench)
+	if err != nil {
+		return err
+	}
+	recs := trace.Materialise(b, nodes, cycles, seed)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, recs); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d records over %d cycles (%d nodes, avg %.4f packets/cycle)\n",
+		out, len(recs), cycles, nodes, float64(len(recs))/float64(cycles))
+	return f.Sync()
+}
+
+func doInspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Printf("%s: empty trace\n", path)
+		return nil
+	}
+	var flits int64
+	maxNode := int32(0)
+	last := recs[0].At
+	for _, r := range recs {
+		flits += int64(r.Size)
+		if r.Src > maxNode {
+			maxNode = r.Src
+		}
+		if r.Dst > maxNode {
+			maxNode = r.Dst
+		}
+		if r.At > last {
+			last = r.At
+		}
+	}
+	fmt.Printf("%s: %d packets, %d flits, %d+ nodes, span %d cycles (%.2f µs), avg %.4f packets/cycle\n",
+		path, len(recs), flits, maxNode+1, last, last.Micros(), float64(len(recs))/float64(last+1))
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "Exploring the Design
+// Space of Power-Aware Opto-Electronic Networked Systems" (Chen, Peh, Wei,
+// Huang, Prucnal — HPCA-11, 2005).
+//
+// The library lives under internal/: the circuit-level link power models
+// (internal/linkmodel, internal/optics), the power-aware link state
+// machine (internal/powerlink), the control policies (internal/policy),
+// a cycle-accurate flit-level network simulator (internal/sim,
+// internal/router, internal/network), workloads (internal/traffic,
+// internal/trace), and one harness per table/figure of the paper's
+// evaluation (internal/experiments).
+//
+// Entry points: cmd/optosim runs any experiment; the examples/ directory
+// holds runnable walkthroughs; bench_test.go at this root regenerates
+// every table and figure under `go test -bench`.
+package repro

@@ -1,0 +1,69 @@
+// Linkdesign: explore one power-aware opto-electronic link in isolation —
+// the Section 2 circuit models, the link state machine's transition
+// sequencing (voltage before frequency on the way up; CDR relock windows),
+// and the resulting energy ledger.
+//
+//	go run ./examples/linkdesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/linkmodel"
+	"repro/internal/powerlink"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	link, err := powerlink.New(powerlink.Config{
+		Scheme:     linkmodel.SchemeVCSEL,
+		Params:     linkmodel.DefaultParams(),
+		LevelRates: powerlink.Levels(5, 10, 6),
+		Tbr:        20,  // CDR relock: link disabled
+		Tv:         100, // supply ramp: link keeps operating
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("walking one VCSEL link down the bit-rate ladder and back up")
+	fmt.Println("(watch the rate go to 0 for 20 cycles at each frequency switch)")
+	fmt.Println()
+
+	tb := report.NewTable("", "cycle", "action", "level", "rate (Gb/s)", "power (mW)")
+	observe := func(t sim.Cycle, action string) {
+		tb.AddRowf(float64(t), action, link.Level(t), link.BitRateGbps(t), link.PowerW(t)*1e3)
+	}
+
+	now := sim.Cycle(0)
+	observe(now, "initial (top level)")
+	for i := 0; i < 5; i++ {
+		link.RequestStep(now, -1)
+		observe(now+10, "down: mid freq-switch")
+		observe(now+50, "down: volt ramping")
+		now += 1000
+		observe(now, "settled")
+	}
+	for i := 0; i < 2; i++ {
+		link.RequestStep(now, +1)
+		observe(now+50, "up: volt ramping (old rate)")
+		observe(now+110, "up: mid freq-switch")
+		now += 1000
+		observe(now, "settled")
+	}
+	fmt.Println(tb.String())
+
+	st := link.Stats(now)
+	fmt.Printf("after %d cycles: %d transitions, %d cycles disabled, %.3f µJ consumed\n",
+		now, st.Transitions, st.DisabledFor, st.EnergyJ*1e6)
+	fmt.Printf("energy at a constant 10 Gb/s would have been %.3f µJ\n",
+		linkmodel.DefaultParams().LinkPowerAt(linkmodel.SchemeVCSEL, 10)*now.Seconds()*1e6)
+
+	fmt.Println()
+	fmt.Println("time spent per level:")
+	for lv, c := range st.TimeAtLevel {
+		fmt.Printf("  level %d (%2.0f Gb/s): %6d cycles\n", lv, link.LevelRate(lv), c)
+	}
+}

@@ -1,0 +1,88 @@
+// Splash: replay the three synthesised SPLASH-2-like traces (FFT, LU,
+// Radix — see DESIGN.md "Substitutions") on the paper's 64-node, 8-rack
+// modulator-based system and report the Table 3 metrics: latency, power
+// and power-latency product of the power-aware network relative to the
+// non-power-aware one.
+//
+// This example also demonstrates the trace file round trip: each trace is
+// materialised, written to a temp file, read back, and replayed.
+//
+//	go run ./examples/splash
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	const length sim.Cycle = 600_000
+
+	scale := experiments.FullScale()
+	cfgPA := experiments.SplashConfig(scale)
+	cfgNon := cfgPA
+	cfgNon.PowerAware = false
+
+	dir, err := os.MkdirTemp("", "splash-traces")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	tb := report.NewTable("SPLASH-2-like traces on the modulator-based power-aware system",
+		"benchmark", "packets", "norm latency", "norm power", "power-latency product")
+
+	for _, b := range trace.Benchmarks() {
+		// Materialise the trace, store it, and read it back — the round
+		// trip a user with real captured traces would perform.
+		recs := trace.Materialise(b, cfgPA.Nodes(), length, cfgPA.Seed)
+		path := filepath.Join(dir, b.String()+".trc")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Write(f, recs); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+
+		f, err = os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		mkGen := func() *trace.Playback {
+			p, err := trace.NewPlayback(loaded, cfgPA.Nodes())
+			if err != nil {
+				log.Fatal(err)
+			}
+			return p
+		}
+		pa, err := core.Run(cfgPA, mkGen(), 0, length)
+		if err != nil {
+			log.Fatal(err)
+		}
+		non, err := core.Run(cfgNon, mkGen(), 0, length)
+		if err != nil {
+			log.Fatal(err)
+		}
+		normLat := pa.MeanLatencyCycles / non.MeanLatencyCycles
+		tb.AddRowf(b.String(), pa.Packets, normLat, pa.NormPower, pa.NormPower*normLat)
+	}
+	fmt.Println(tb.String())
+	fmt.Println("paper's Table 3 for reference: latency 1.08/1.50/1.60, power 0.22/0.25/0.23,")
+	fmt.Println("PLP 0.24/0.38/0.37 — see EXPERIMENTS.md for the latency-floor analysis.")
+}

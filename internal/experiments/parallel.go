@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEach runs f(i) for i in [0, n) on up to NumCPU workers. Simulation
+// runs are independent, deterministic given their config, and CPU-bound,
+// so sweeps parallelise perfectly.
+func forEach(n int, f func(i int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"repro/internal/linkmodel"
+	"repro/internal/report"
+)
+
+// Table2Row is one component's operating point at the maximum bit rate.
+type Table2Row struct {
+	Component linkmodel.Component
+	PowerMW   float64
+	Trend     string
+}
+
+// Table2 reproduces Table 2: per-component power at 10 Gb/s / 1.8 V and
+// the scaling trend of each component, straight from the circuit models of
+// Section 2.
+func Table2() []Table2Row {
+	p := linkmodel.DefaultParams()
+	comps := []linkmodel.Component{
+		linkmodel.VCSEL, linkmodel.VCSELDriver, linkmodel.ModulatorDriver,
+		linkmodel.TIA, linkmodel.CDR,
+	}
+	rows := make([]Table2Row, 0, len(comps))
+	for _, c := range comps {
+		rows = append(rows, Table2Row{
+			Component: c,
+			PowerMW:   p.ComponentPower(c, p.MaxBitRateGbps, p.VddMax, p.ModInputOpticalW) * 1e3,
+			Trend:     linkmodel.ScalingTrend(c),
+		})
+	}
+	return rows
+}
+
+// Table2Report renders Table2 plus the link totals the paper quotes in the
+// surrounding text (40 mW Tx, 250 mW Rx, 290 mW per link, 61.25 mW at
+// 5 Gb/s for a VCSEL link).
+func Table2Report() *report.Table {
+	t := report.NewTable("Table 2: link component power at 10 Gb/s (0.18um CMOS)",
+		"component", "power (mW)", "scaling trend")
+	for _, r := range Table2() {
+		t.AddRowf(r.Component.String(), r.PowerMW, r.Trend)
+	}
+	p := linkmodel.DefaultParams()
+	t.AddRow()
+	t.AddRowf("VCSEL link total @10Gb/s", p.LinkPowerAt(linkmodel.SchemeVCSEL, 10)*1e3, "")
+	t.AddRowf("Modulator link total @10Gb/s", p.LinkPowerAt(linkmodel.SchemeModulator, 10)*1e3, "")
+	t.AddRowf("VCSEL link total @5Gb/s", p.LinkPowerAt(linkmodel.SchemeVCSEL, 5)*1e3, "(paper: 61.25)")
+	return t
+}

@@ -1,0 +1,441 @@
+// Package linkmodel implements the analytic power models of the
+// opto-electronic link components described in Section 2 of the paper
+// (Eqs. 1-9), anchored to the Table 2 operating points: a 0.18 µm CMOS
+// implementation whose components dissipate, at the maximum bit rate of
+// 10 Gb/s and Vdd = 1.8 V,
+//
+//	VCSEL            30 mW   (scaling ≈ Vdd, with a fixed bias floor)
+//	VCSEL driver     10 mW   (scaling Vdd²·BR)
+//	Modulator driver 40 mW   (scaling BR; Vdd held fixed)
+//	TIA             100 mW   (scaling Vdd·BR)
+//	CDR             150 mW   (scaling Vdd²·BR)
+//
+// A full unidirectional link is 290 mW in either transmitter scheme
+// (VCSEL: 30+10+100+150; modulator: 40+100+150), matching the paper's
+// "transmitter ≈ 40 mW, receiver ≈ 250 mW".
+//
+// Two transmitter alternatives are modelled (Section 2.1):
+//
+//   - SchemeVCSEL: a directly modulated vertical-cavity surface-emitting
+//     laser driven by a cascaded-inverter driver. Both bit rate and supply
+//     voltage scale; the VCSEL's modulation current follows Vdd so its
+//     optical output and electrical power scale ≈ Vdd above the bias floor.
+//   - SchemeModulator: an external mode-locked laser feeding a
+//     multiple-quantum-well modulator through splitter trees. The modulator
+//     driver's supply voltage is held fixed to preserve contrast ratio, so
+//     only bit rate scales; the optical power per link is set by external
+//     attenuators.
+//
+// The receiver chain (photodetector, transimpedance amplifier, clock and
+// data recovery) is common to both schemes (Section 2.2).
+package linkmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheme selects the transmitter alternative.
+type Scheme int
+
+const (
+	// SchemeVCSEL is the directly modulated VCSEL transmitter.
+	SchemeVCSEL Scheme = iota
+	// SchemeModulator is the external-laser + MQW modulator transmitter.
+	SchemeModulator
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeVCSEL:
+		return "vcsel"
+	case SchemeModulator:
+		return "modulator"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Component identifies one element of the opto-electronic link.
+type Component int
+
+const (
+	// VCSEL is the directly modulated laser itself (Eq. 2).
+	VCSEL Component = iota
+	// VCSELDriver is the cascaded-inverter laser driver (Eq. 3).
+	VCSELDriver
+	// Modulator is the MQW modulator's absorbed optical power (Eq. 4).
+	Modulator
+	// ModulatorDriver is the cascaded-inverter modulator driver (Eq. 5).
+	ModulatorDriver
+	// Photodetector is the receiver photodiode (Eq. 6).
+	Photodetector
+	// TIA is the transimpedance amplifier (Eqs. 7-8).
+	TIA
+	// CDR is the clock and data recovery circuit (Eq. 9).
+	CDR
+
+	numComponents
+)
+
+func (c Component) String() string {
+	switch c {
+	case VCSEL:
+		return "VCSEL"
+	case VCSELDriver:
+		return "VCSEL driver"
+	case Modulator:
+		return "Modulator"
+	case ModulatorDriver:
+		return "Modulator driver"
+	case Photodetector:
+		return "Photodetector"
+	case TIA:
+		return "TIA"
+	case CDR:
+		return "CDR"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// Physical constants.
+const (
+	electronCharge = 1.602176634e-19 // C
+	planck         = 6.62607015e-34  // J·s
+	lightSpeed     = 2.99792458e8    // m/s
+)
+
+// Params holds every device parameter of the link model. The zero value is
+// not useful; start from DefaultParams.
+type Params struct {
+	// MaxBitRateGbps is the link's maximum bit rate (paper: 10 Gb/s).
+	MaxBitRateGbps float64
+	// VddMax is the nominal supply voltage at the maximum bit rate
+	// (paper: 1.8 V in 0.18 µm CMOS).
+	VddMax float64
+	// VddMin is the lowest supply the scalable circuits tolerate
+	// (paper: 0.9 V at 5 Gb/s; adaptive-supply links run sub-1V [12]).
+	VddMin float64
+
+	// --- VCSEL and driver (Section 2.1.1) ---
+
+	// VCSELBias is the VCSEL bias voltage Vbias.
+	VCSELBias float64
+	// VCSELIth is the threshold current Ith (A) above which the VCSEL
+	// lases (Eq. 1). Oxide-aperture-confined devices reach hundreds of µA.
+	VCSELIth float64
+	// VCSELIbias is the constant bias current (A), kept above Ith so
+	// stimulated emission stays stable at high bit rates.
+	VCSELIbias float64
+	// VCSELIm is the modulation current Im (A) at full supply; it scales
+	// linearly with the driver's Vdd.
+	VCSELIm float64
+	// VCSELSlope is the slope efficiency S (W/A) converting drive current
+	// above threshold into emitted optical power (Eq. 1).
+	VCSELSlope float64
+	// VCSELDriverCapF is α1·C_LD (F): switching activity times total
+	// switched capacitance of the driver inverter chain (Eq. 3).
+	VCSELDriverCapF float64
+
+	// --- MQW modulator and driver (Section 2.1.2) ---
+
+	// ModDriverCapF is α2·C_md (F) for the modulator driver (Eq. 5).
+	ModDriverCapF float64
+	// ModInsertionLoss is the modulator's insertion loss IL as a linear
+	// fraction of optical power lost in the "on" state.
+	ModInsertionLoss float64
+	// ModContrastRatio is the on/off optical power contrast ratio CR.
+	ModContrastRatio float64
+	// ModResponsivity is Rs (A/W), conversion efficiency from absorbed
+	// optical power to current in Eq. 4.
+	ModResponsivity float64
+	// ModBias is the modulator bias voltage Vbias in Eq. 4.
+	ModBias float64
+	// ModInputOpticalW is P_I, the optical power (W) delivered to the
+	// modulator from the external laser at the highest optical level.
+	ModInputOpticalW float64
+
+	// --- Receiver (Section 2.2) ---
+
+	// RecvSensitivityW is the receiver sensitivity P_rec (W) at the
+	// maximum bit rate: the minimum optical power for BER 1e-12
+	// (paper: 25 µW for a 10 Gb/s link). Sensitivity scales linearly
+	// with bit rate.
+	RecvSensitivityW float64
+	// DetectorBias is the photodetector bias voltage (Eq. 6).
+	DetectorBias float64
+	// DetectorCR is the received optical contrast ratio in Eq. 6.
+	DetectorCR float64
+	// WavelengthNM is the optical carrier wavelength in nanometres,
+	// setting the photon energy hν in Eq. 6.
+	WavelengthNM float64
+	// TIACoeffAPerBps is c in Eqs. 7-8 (A per bit/s): the TIA bias
+	// current needed per unit of maximum bit rate.
+	TIACoeffAPerBps float64
+	// CDRCapF is α3·C_CDR (F) for the clock and data recovery loop
+	// (Eq. 9).
+	CDRCapF float64
+}
+
+// DefaultParams returns the parameter set calibrated to Table 2 of the
+// paper: each component hits its quoted power at 10 Gb/s and 1.8 V, and a
+// VCSEL link at 5 Gb/s / 0.9 V dissipates the paper's 61.25 mW.
+func DefaultParams() Params {
+	return Params{
+		MaxBitRateGbps: 10,
+		VddMax:         1.8,
+		VddMin:         0.594, // 1.8 × 3.3/10: floor for the 3.3 Gb/s level
+
+		VCSELBias:  1.8,
+		VCSELIth:   0.5e-3,
+		VCSELIbias: 1.38889e-3, // with Im below: 30 mW @1.8 V, 16.25 mW @0.9 V
+		VCSELIm:    30.5556e-3,
+		VCSELSlope: 0.3,
+		// α1·C_LD such that P = α1·C_LD·Vdd²·BR = 10 mW at (1.8 V, 10 Gb/s).
+		VCSELDriverCapF: 10e-3 / (1.8 * 1.8 * 10e9),
+
+		// α2·C_md such that P = 40 mW at (1.8 V, 10 Gb/s).
+		ModDriverCapF:    40e-3 / (1.8 * 1.8 * 10e9),
+		ModInsertionLoss: 0.5, // 3 dB insertion loss
+		ModContrastRatio: 10,  // 10 dB contrast
+		ModResponsivity:  0.8,
+		ModBias:          1.8,
+		ModInputOpticalW: 100e-6,
+
+		RecvSensitivityW: 25e-6,
+		DetectorBias:     3.0,
+		DetectorCR:       10,
+		WavelengthNM:     1550,
+		// c such that P_TIA = c·BR·Vdd = 100 mW at (10 Gb/s, 1.8 V).
+		TIACoeffAPerBps: 100e-3 / (10e9 * 1.8),
+		// α3·C_CDR such that P_CDR = 150 mW at (1.8 V, 10 Gb/s).
+		CDRCapF: 150e-3 / (1.8 * 1.8 * 10e9),
+	}
+}
+
+// Validate reports an error when the parameter set is physically
+// inconsistent.
+func (p Params) Validate() error {
+	switch {
+	case p.MaxBitRateGbps <= 0:
+		return fmt.Errorf("linkmodel: MaxBitRateGbps must be positive, got %g", p.MaxBitRateGbps)
+	case p.VddMax <= 0:
+		return fmt.Errorf("linkmodel: VddMax must be positive, got %g", p.VddMax)
+	case p.VddMin < 0 || p.VddMin > p.VddMax:
+		return fmt.Errorf("linkmodel: VddMin %g outside [0, VddMax=%g]", p.VddMin, p.VddMax)
+	case p.VCSELIbias < p.VCSELIth:
+		return fmt.Errorf("linkmodel: VCSEL bias current %g below threshold %g", p.VCSELIbias, p.VCSELIth)
+	case p.ModContrastRatio <= 1:
+		return fmt.Errorf("linkmodel: modulator contrast ratio must exceed 1, got %g", p.ModContrastRatio)
+	case p.ModInsertionLoss < 0 || p.ModInsertionLoss >= 1:
+		return fmt.Errorf("linkmodel: insertion loss must be in [0,1), got %g", p.ModInsertionLoss)
+	case p.DetectorCR <= 1:
+		return fmt.Errorf("linkmodel: detector contrast ratio must exceed 1, got %g", p.DetectorCR)
+	case p.WavelengthNM <= 0:
+		return fmt.Errorf("linkmodel: wavelength must be positive, got %g", p.WavelengthNM)
+	}
+	return nil
+}
+
+// VddAt returns the supply voltage the scalable circuits (VCSEL driver,
+// TIA, CDR) require at the given bit rate. The paper assumes the required
+// supply scales linearly with bit rate [12, 28]: 1.8 V at 10 Gb/s down to
+// 0.9 V at 5 Gb/s. The result is clamped to [VddMin, VddMax].
+func (p Params) VddAt(bitRateGbps float64) float64 {
+	v := p.VddMax * bitRateGbps / p.MaxBitRateGbps
+	return math.Min(p.VddMax, math.Max(p.VddMin, v))
+}
+
+// EmittedOpticalPower implements Eq. 1: the VCSEL's emitted optical power
+// Pe = S·(I − Ith) in watts for drive current i (A). Below threshold the
+// emission is zero.
+func (p Params) EmittedOpticalPower(i float64) float64 {
+	if i <= p.VCSELIth {
+		return 0
+	}
+	return p.VCSELSlope * (i - p.VCSELIth)
+}
+
+// vcselPower implements Eq. 2 with the driver-limited modulation current:
+// P = (Ibias + Im(Vdd)/2)·Vbias, where Im scales linearly with the driver
+// supply. The bias term is the fixed power floor the paper attributes to
+// the threshold current.
+func (p Params) vcselPower(vdd float64) float64 {
+	im := p.VCSELIm * vdd / p.VddMax
+	return (p.VCSELIbias + im/2) * p.VCSELBias
+}
+
+// vcselDriverPower implements Eq. 3: P = α1·C_LD·Vdd²·BR.
+func (p Params) vcselDriverPower(bitRateGbps, vdd float64) float64 {
+	return p.VCSELDriverCapF * vdd * vdd * bitRateGbps * 1e9
+}
+
+// modulatorPower implements Eq. 4: the optical power absorbed by the MQW
+// modulator, averaged over equiprobable 1s and 0s:
+//
+//	P = 0.5·Rs·P_I·[ IL·(Vbias − Vdd) + (1 − (1−IL)/CR)·Vbias ]
+//
+// The first term is the "on" state (a fraction IL of the light is absorbed
+// at the lower applied voltage Vbias−Vdd); the second is the "off" state
+// (all but (1−IL)/CR of the light is absorbed at Vbias). inputOpticalW is
+// the optical power delivered by the external laser, which the attenuators
+// vary across optical levels.
+func (p Params) modulatorPower(inputOpticalW, vddDriver float64) float64 {
+	on := p.ModInsertionLoss * (p.ModBias - vddDriver)
+	off := (1 - (1-p.ModInsertionLoss)/p.ModContrastRatio) * p.ModBias
+	return 0.5 * p.ModResponsivity * inputOpticalW * (on + off)
+}
+
+// modulatorDriverPower implements Eq. 5: P = α2·C_md·Vdd²·BR. The supply
+// voltage of the modulator driver is fixed at VddMax (lowering it would
+// collapse the contrast ratio, Section 2.3), so only BR varies in practice.
+func (p Params) modulatorDriverPower(bitRateGbps, vdd float64) float64 {
+	return p.ModDriverCapF * vdd * vdd * bitRateGbps * 1e9
+}
+
+// RecvSensitivityAt returns the receiver sensitivity (W) required at the
+// given bit rate for the target BER of 1e-12. Higher bit rates require
+// proportionally more optical power (Section 2.2.1).
+func (p Params) RecvSensitivityAt(bitRateGbps float64) float64 {
+	return p.RecvSensitivityW * bitRateGbps / p.MaxBitRateGbps
+}
+
+// detectorPower implements Eq. 6: P = P_rec·(q/hν)·Vbias·(CR+1)/(CR−1).
+func (p Params) detectorPower(bitRateGbps float64) float64 {
+	nu := lightSpeed / (p.WavelengthNM * 1e-9)
+	qOverHNu := electronCharge / (planck * nu)
+	prec := p.RecvSensitivityAt(bitRateGbps)
+	return prec * qOverHNu * p.DetectorBias * (p.DetectorCR + 1) / (p.DetectorCR - 1)
+}
+
+// tiaPower implements Eq. 8: P = Ibias·Vdd = c·BRmax·Vdd. When the link's
+// bit rate scales down, the TIA's maximum affordable bit rate is reduced by
+// the same degree by tuning its bias current through the supply, so the
+// effective scaling is c·BR·Vdd.
+func (p Params) tiaPower(bitRateGbps, vdd float64) float64 {
+	return p.TIACoeffAPerBps * bitRateGbps * 1e9 * vdd
+}
+
+// cdrPower implements Eq. 9: P = α3·C_CDR·Vdd²·BR.
+func (p Params) cdrPower(bitRateGbps, vdd float64) float64 {
+	return p.CDRCapF * vdd * vdd * bitRateGbps * 1e9
+}
+
+// ComponentPower returns the power (W) dissipated by one component at the
+// given bit rate (Gb/s), scalable-circuit supply voltage vdd (V), and — for
+// the modulator — the optical input power opticalW delivered by the
+// external laser. Components that do not depend on an argument ignore it.
+func (p Params) ComponentPower(c Component, bitRateGbps, vdd, opticalW float64) float64 {
+	switch c {
+	case VCSEL:
+		return p.vcselPower(vdd)
+	case VCSELDriver:
+		return p.vcselDriverPower(bitRateGbps, vdd)
+	case Modulator:
+		return p.modulatorPower(opticalW, p.VddMax)
+	case ModulatorDriver:
+		// Fixed supply: voltage scaling would destroy the contrast ratio.
+		return p.modulatorDriverPower(bitRateGbps, p.VddMax)
+	case Photodetector:
+		return p.detectorPower(bitRateGbps)
+	case TIA:
+		return p.tiaPower(bitRateGbps, vdd)
+	case CDR:
+		return p.cdrPower(bitRateGbps, vdd)
+	default:
+		panic(fmt.Sprintf("linkmodel: unknown component %d", int(c)))
+	}
+}
+
+// Components returns the set of components present in a link of the given
+// scheme, transmitter first.
+func Components(s Scheme) []Component {
+	switch s {
+	case SchemeVCSEL:
+		return []Component{VCSEL, VCSELDriver, Photodetector, TIA, CDR}
+	case SchemeModulator:
+		return []Component{Modulator, ModulatorDriver, Photodetector, TIA, CDR}
+	default:
+		panic(fmt.Sprintf("linkmodel: unknown scheme %d", int(s)))
+	}
+}
+
+// TxPower returns the transmitter power (W) of a link of scheme s at the
+// given bit rate, supply, and optical input.
+func (p Params) TxPower(s Scheme, bitRateGbps, vdd, opticalW float64) float64 {
+	switch s {
+	case SchemeVCSEL:
+		return p.vcselPower(vdd) + p.vcselDriverPower(bitRateGbps, vdd)
+	case SchemeModulator:
+		return p.modulatorPower(opticalW, p.VddMax) + p.modulatorDriverPower(bitRateGbps, p.VddMax)
+	default:
+		panic(fmt.Sprintf("linkmodel: unknown scheme %d", int(s)))
+	}
+}
+
+// RxPower returns the receiver power (W): photodetector + TIA + CDR.
+func (p Params) RxPower(bitRateGbps, vdd float64) float64 {
+	return p.detectorPower(bitRateGbps) + p.tiaPower(bitRateGbps, vdd) + p.cdrPower(bitRateGbps, vdd)
+}
+
+// LinkPower returns the total power (W) of a unidirectional link of scheme
+// s operating at the given bit rate with scalable-circuit supply vdd and
+// modulator optical input opticalW. The paper's headline number: 290 mW at
+// 10 Gb/s for either scheme, ignoring the sub-mW photodetector and
+// modulator absorption.
+func (p Params) LinkPower(s Scheme, bitRateGbps, vdd, opticalW float64) float64 {
+	return p.TxPower(s, bitRateGbps, vdd, opticalW) + p.RxPower(bitRateGbps, vdd)
+}
+
+// LinkPowerAt is LinkPower with the supply voltage implied by the bit rate
+// through VddAt and the default full optical input.
+func (p Params) LinkPowerAt(s Scheme, bitRateGbps float64) float64 {
+	return p.LinkPower(s, bitRateGbps, p.VddAt(bitRateGbps), p.ModInputOpticalW)
+}
+
+// EnergyPerBit returns the link's energy cost per transmitted bit (J/bit)
+// at the given rate — the figure of merit the interconnect community
+// quotes (pJ/bit). At 10 Gb/s a 290 mW link costs 29 pJ/bit; because power
+// falls super-linearly with rate, energy per bit improves as the link
+// scales down.
+func (p Params) EnergyPerBit(s Scheme, bitRateGbps float64) float64 {
+	if bitRateGbps <= 0 {
+		return math.Inf(1)
+	}
+	return p.LinkPowerAt(s, bitRateGbps) / (bitRateGbps * 1e9)
+}
+
+// OpticalLevelFeasible reports whether optical power inputW delivered to
+// the modulator leaves enough light at the photodetector — after the
+// modulator's insertion loss — to meet the receiver sensitivity required
+// at the given bit rate. Guards against configuring a Plow that cannot
+// actually carry its bit-rate band at BER 1e-12.
+func (p Params) OpticalLevelFeasible(inputW, bitRateGbps float64) bool {
+	atDetector := inputW * (1 - p.ModInsertionLoss)
+	return atDetector >= p.RecvSensitivityAt(bitRateGbps)
+}
+
+// ScalingTrend describes, as a human-readable string, how a component's
+// power scales with supply voltage and bit rate (the "scaling trend" row of
+// Table 2).
+func ScalingTrend(c Component) string {
+	switch c {
+	case VCSEL:
+		return "~Vdd"
+	case VCSELDriver:
+		return "Vdd^2*BR"
+	case Modulator:
+		return "~P_I"
+	case ModulatorDriver:
+		return "BR"
+	case Photodetector:
+		return "~BR"
+	case TIA:
+		return "Vdd*BR"
+	case CDR:
+		return "Vdd^2*BR"
+	default:
+		return "?"
+	}
+}

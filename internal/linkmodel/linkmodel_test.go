@@ -1,0 +1,389 @@
+package linkmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol
+}
+
+// TestTable2Anchors verifies every component hits its Table 2 power at the
+// 10 Gb/s / 1.8 V operating point.
+func TestTable2Anchors(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		c      Component
+		wantMW float64
+		tolMW  float64
+	}{
+		{VCSEL, 30, 0.01},
+		{VCSELDriver, 10, 0.01},
+		{ModulatorDriver, 40, 0.01},
+		{TIA, 100, 0.01},
+		{CDR, 150, 0.01},
+	}
+	for _, c := range cases {
+		got := p.ComponentPower(c.c, 10, 1.8, p.ModInputOpticalW) * 1e3
+		if !approx(got, c.wantMW, c.tolMW) {
+			t.Errorf("%v @10Gb/s,1.8V = %.3f mW, want %.2f", c.c, got, c.wantMW)
+		}
+	}
+}
+
+// TestLinkPower290 verifies the paper's total: 290 mW per unidirectional
+// link at 10 Gb/s for both schemes (excluding the sub-mW photodetector and
+// modulator absorption).
+func TestLinkPower290(t *testing.T) {
+	p := DefaultParams()
+	for _, s := range []Scheme{SchemeVCSEL, SchemeModulator} {
+		got := p.LinkPowerAt(s, 10) * 1e3
+		// Allow ~1.5 mW for detector + modulator absorption terms.
+		if got < 290 || got > 292 {
+			t.Errorf("%v link @10Gb/s = %.3f mW, want 290-292", s, got)
+		}
+	}
+}
+
+// TestVCSEL5GbpsMatchesPaper verifies the paper's quoted 61.25 mW for a
+// VCSEL-based link at 5 Gb/s / 0.9 V.
+func TestVCSEL5GbpsMatchesPaper(t *testing.T) {
+	p := DefaultParams()
+	got := p.LinkPower(SchemeVCSEL, 5, 0.9, p.ModInputOpticalW) * 1e3
+	// Paper: 61.25 mW electrical; our detector term adds ~0.06 mW.
+	if !approx(got, 61.25, 0.2) {
+		t.Errorf("VCSEL link @5Gb/s,0.9V = %.3f mW, want ≈61.25", got)
+	}
+}
+
+// TestTxRxSplit verifies the paper's Tx ≈ 40 mW / Rx ≈ 250 mW split.
+func TestTxRxSplit(t *testing.T) {
+	p := DefaultParams()
+	for _, s := range []Scheme{SchemeVCSEL, SchemeModulator} {
+		tx := p.TxPower(s, 10, 1.8, p.ModInputOpticalW) * 1e3
+		rx := p.RxPower(10, 1.8) * 1e3
+		if !approx(tx, 40, 1) {
+			t.Errorf("%v Tx = %.2f mW, want ≈40", s, tx)
+		}
+		if !approx(rx, 250, 1) {
+			t.Errorf("Rx = %.2f mW, want ≈250", rx)
+		}
+	}
+}
+
+func TestVddAtLinearScaling(t *testing.T) {
+	p := DefaultParams()
+	if got := p.VddAt(10); !approx(got, 1.8, 1e-12) {
+		t.Errorf("VddAt(10) = %g, want 1.8", got)
+	}
+	if got := p.VddAt(5); !approx(got, 0.9, 1e-12) {
+		t.Errorf("VddAt(5) = %g, want 0.9", got)
+	}
+}
+
+func TestVddAtClamps(t *testing.T) {
+	p := DefaultParams()
+	if got := p.VddAt(20); got != p.VddMax {
+		t.Errorf("VddAt(20) = %g, want clamp to VddMax %g", got, p.VddMax)
+	}
+	if got := p.VddAt(0.1); got != p.VddMin {
+		t.Errorf("VddAt(0.1) = %g, want clamp to VddMin %g", got, p.VddMin)
+	}
+}
+
+func TestEmittedOpticalPower(t *testing.T) {
+	p := DefaultParams()
+	if got := p.EmittedOpticalPower(p.VCSELIth); got != 0 {
+		t.Errorf("emission at threshold = %g, want 0", got)
+	}
+	if got := p.EmittedOpticalPower(p.VCSELIth / 2); got != 0 {
+		t.Errorf("emission below threshold = %g, want 0", got)
+	}
+	i := p.VCSELIth + 10e-3
+	want := p.VCSELSlope * 10e-3
+	if got := p.EmittedOpticalPower(i); !approx(got, want, 1e-12) {
+		t.Errorf("emission = %g, want %g", got, want)
+	}
+}
+
+// TestVCSELHasBiasFloor: the VCSEL's power must not go to zero as Vdd goes
+// to zero — the threshold/bias current is a fixed floor (Section 2.1.1).
+func TestVCSELHasBiasFloor(t *testing.T) {
+	p := DefaultParams()
+	got := p.ComponentPower(VCSEL, 10, 0, 0)
+	want := p.VCSELIbias * p.VCSELBias
+	if !approx(got, want, 1e-9) {
+		t.Errorf("VCSEL power at Vdd=0 = %g W, want bias floor %g W", got, want)
+	}
+	if got <= 0 {
+		t.Error("VCSEL bias floor must be positive")
+	}
+}
+
+// TestScalingTrends verifies each component's power follows its Table 2
+// scaling law when BR and Vdd are varied together (Vdd ∝ BR).
+func TestScalingTrends(t *testing.T) {
+	p := DefaultParams()
+	const br = 5.0 // half rate
+	vdd := p.VddAt(br)
+	frac := br / p.MaxBitRateGbps // 0.5
+
+	// Vdd²·BR components scale by frac³ = 0.125.
+	for _, c := range []Component{VCSELDriver, CDR} {
+		full := p.ComponentPower(c, 10, 1.8, 0)
+		half := p.ComponentPower(c, br, vdd, 0)
+		if !approx(half/full, frac*frac*frac, 1e-9) {
+			t.Errorf("%v scaled by %g, want %g (Vdd²·BR)", c, half/full, frac*frac*frac)
+		}
+	}
+	// Vdd·BR: TIA scales by frac² = 0.25.
+	{
+		full := p.ComponentPower(TIA, 10, 1.8, 0)
+		half := p.ComponentPower(TIA, br, vdd, 0)
+		if !approx(half/full, frac*frac, 1e-9) {
+			t.Errorf("TIA scaled by %g, want %g (Vdd·BR)", half/full, frac*frac)
+		}
+	}
+	// BR only: modulator driver keeps Vdd fixed, scales by frac.
+	{
+		full := p.ComponentPower(ModulatorDriver, 10, 1.8, 0)
+		half := p.ComponentPower(ModulatorDriver, br, vdd, 0)
+		if !approx(half/full, frac, 1e-9) {
+			t.Errorf("modulator driver scaled by %g, want %g (BR)", half/full, frac)
+		}
+	}
+}
+
+// TestVCSELBeatsModulatorWhenScaled: at reduced rates the VCSEL scheme must
+// consume less than the modulator scheme because its driver scales with
+// Vdd²·BR while the modulator driver only scales with BR (Section 4.3.2).
+func TestVCSELBeatsModulatorWhenScaled(t *testing.T) {
+	p := DefaultParams()
+	for _, br := range []float64{3.3, 5, 6, 8} {
+		v := p.LinkPowerAt(SchemeVCSEL, br)
+		m := p.LinkPowerAt(SchemeModulator, br)
+		if v >= m {
+			t.Errorf("at %g Gb/s VCSEL link %.2f mW >= modulator %.2f mW", br, v*1e3, m*1e3)
+		}
+	}
+}
+
+// TestSchemesEqualAtFullRate: at the maximum bit rate both schemes are
+// designed to dissipate the same 290 mW.
+func TestSchemesEqualAtFullRate(t *testing.T) {
+	p := DefaultParams()
+	v := p.LinkPowerAt(SchemeVCSEL, 10)
+	m := p.LinkPowerAt(SchemeModulator, 10)
+	if !approx(v, m, 1e-3) {
+		t.Errorf("full-rate powers differ: VCSEL %.3f mW vs modulator %.3f mW", v*1e3, m*1e3)
+	}
+}
+
+func TestDetectorPowerSubMilliwatt(t *testing.T) {
+	p := DefaultParams()
+	got := p.ComponentPower(Photodetector, 10, 1.8, 0)
+	if got <= 0 || got >= 1e-3 {
+		t.Errorf("photodetector power %.4g W, want (0, 1mW) per Section 2.2.1", got)
+	}
+}
+
+func TestModulatorAbsorptionSmall(t *testing.T) {
+	p := DefaultParams()
+	got := p.ComponentPower(Modulator, 10, 1.8, p.ModInputOpticalW)
+	if got <= 0 || got >= 1e-3 {
+		t.Errorf("modulator absorbed power %.4g W, want small positive", got)
+	}
+}
+
+// TestModulatorPowerScalesWithLight: halving the optical input must halve
+// the modulator's absorbed power (this is what Pdec buys).
+func TestModulatorPowerScalesWithLight(t *testing.T) {
+	p := DefaultParams()
+	full := p.ComponentPower(Modulator, 10, 1.8, p.ModInputOpticalW)
+	half := p.ComponentPower(Modulator, 10, 1.8, p.ModInputOpticalW/2)
+	if !approx(half/full, 0.5, 1e-9) {
+		t.Errorf("modulator power ratio %g at half light, want 0.5", half/full)
+	}
+}
+
+func TestRecvSensitivityScalesWithRate(t *testing.T) {
+	p := DefaultParams()
+	if got := p.RecvSensitivityAt(10); !approx(got, 25e-6, 1e-12) {
+		t.Errorf("sensitivity @10G = %g, want 25µW", got)
+	}
+	if got := p.RecvSensitivityAt(5); !approx(got, 12.5e-6, 1e-12) {
+		t.Errorf("sensitivity @5G = %g, want 12.5µW", got)
+	}
+}
+
+func TestComponentsPerScheme(t *testing.T) {
+	v := Components(SchemeVCSEL)
+	m := Components(SchemeModulator)
+	if len(v) != 5 || len(m) != 5 {
+		t.Fatalf("component counts: vcsel %d, modulator %d, want 5 each", len(v), len(m))
+	}
+	has := func(cs []Component, c Component) bool {
+		for _, x := range cs {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(v, VCSEL) || has(v, Modulator) {
+		t.Error("VCSEL scheme component set wrong")
+	}
+	if !has(m, ModulatorDriver) || has(m, VCSELDriver) {
+		t.Error("modulator scheme component set wrong")
+	}
+	for _, c := range append(v, m...) {
+		if !has([]Component{VCSEL, VCSELDriver, Modulator, ModulatorDriver, Photodetector, TIA, CDR}, c) {
+			t.Errorf("unknown component %v", c)
+		}
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.MaxBitRateGbps = 0 },
+		func(p *Params) { p.VddMax = -1 },
+		func(p *Params) { p.VddMin = 3 },
+		func(p *Params) { p.VCSELIbias = 0 },
+		func(p *Params) { p.ModContrastRatio = 0.5 },
+		func(p *Params) { p.ModInsertionLoss = 1.5 },
+		func(p *Params) { p.DetectorCR = 1 },
+		func(p *Params) { p.WavelengthNM = 0 },
+	}
+	for i, mut := range mutations {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted by Validate", i)
+		}
+	}
+}
+
+// TestLinkPowerMonotoneInRate: link power must be non-decreasing in bit
+// rate for both schemes — the whole premise of scaling down under light
+// traffic.
+func TestLinkPowerMonotoneInRate(t *testing.T) {
+	p := DefaultParams()
+	f := func(a, b uint8) bool {
+		ra := 1 + 9*float64(a)/255
+		rb := 1 + 9*float64(b)/255
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		for _, s := range []Scheme{SchemeVCSEL, SchemeModulator} {
+			if p.LinkPowerAt(s, ra) > p.LinkPowerAt(s, rb)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPowersPositive: every component must report positive power at any
+// operating point in range.
+func TestPowersPositive(t *testing.T) {
+	p := DefaultParams()
+	f := func(a uint8) bool {
+		br := 1 + 9*float64(a)/255
+		vdd := p.VddAt(br)
+		for c := Component(0); c < numComponents; c++ {
+			if p.ComponentPower(c, br, vdd, p.ModInputOpticalW) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalingTrendStrings(t *testing.T) {
+	want := map[Component]string{
+		VCSEL:           "~Vdd",
+		VCSELDriver:     "Vdd^2*BR",
+		ModulatorDriver: "BR",
+		TIA:             "Vdd*BR",
+		CDR:             "Vdd^2*BR",
+	}
+	for c, w := range want {
+		if got := ScalingTrend(c); got != w {
+			t.Errorf("ScalingTrend(%v) = %q, want %q", c, got, w)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SchemeVCSEL.String() != "vcsel" || SchemeModulator.String() != "modulator" {
+		t.Error("Scheme.String mismatch")
+	}
+	for c := Component(0); c < numComponents; c++ {
+		if c.String() == "" {
+			t.Errorf("component %d has empty name", c)
+		}
+	}
+}
+
+// TestPotentialSavings: the paper claims ~80% power reduction scaling a
+// VCSEL link from 10 Gb/s to 5 Gb/s (290 → 61.25 mW).
+func TestPotentialSavings(t *testing.T) {
+	p := DefaultParams()
+	full := p.LinkPowerAt(SchemeVCSEL, 10)
+	half := p.LinkPowerAt(SchemeVCSEL, 5)
+	saving := 1 - half/full
+	if saving < 0.75 || saving > 0.85 {
+		t.Errorf("5 Gb/s saving = %.1f%%, want ≈80%%", saving*100)
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	p := DefaultParams()
+	// 290 mW at 10 Gb/s ≈ 29 pJ/bit.
+	got := p.EnergyPerBit(SchemeVCSEL, 10)
+	if !approx(got, 29e-12, 0.5e-12) {
+		t.Errorf("energy/bit @10G = %g, want ≈29 pJ", got)
+	}
+	// Scaling down improves energy per bit (power falls faster than rate).
+	if e5 := p.EnergyPerBit(SchemeVCSEL, 5); e5 >= got {
+		t.Errorf("energy/bit @5G (%g) not below @10G (%g)", e5, got)
+	}
+	if !math.IsInf(p.EnergyPerBit(SchemeVCSEL, 0), 1) {
+		t.Error("zero rate should cost infinite energy per bit")
+	}
+}
+
+func TestOpticalLevelFeasible(t *testing.T) {
+	p := DefaultParams()
+	// The paper's three levels must each carry their band.
+	cases := []struct {
+		inputW float64
+		rate   float64
+		want   bool
+	}{
+		{100e-6, 10, true}, // Phigh at top rate
+		{50e-6, 6, true},   // Pmid at its band edge
+		{25e-6, 4, true},   // Plow at its band edge
+		{25e-6, 10, false}, // Plow cannot carry 10 Gb/s
+		{1e-6, 3.3, false}, // starved
+	}
+	for _, c := range cases {
+		if got := p.OpticalLevelFeasible(c.inputW, c.rate); got != c.want {
+			t.Errorf("feasible(%g W, %g Gb/s) = %v, want %v", c.inputW, c.rate, got, c.want)
+		}
+	}
+}

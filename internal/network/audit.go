@@ -1,0 +1,88 @@
+package network
+
+import (
+	"fmt"
+)
+
+// Audit verifies the network's conservation invariants at the current
+// cycle. It is meant for tests and debugging — it walks every router and
+// link, so it is far too slow to run per cycle in experiments.
+//
+// Checked invariants:
+//
+//  1. Credit conservation per (link, VC): the upstream output's free
+//     credits plus the downstream buffer occupancy plus flits in flight on
+//     the wire plus credits in flight back never exceed the buffer depth,
+//     and never drop below zero. (Transient in-flight flits/credits make
+//     exact equality unobservable from outside, so the audit brackets the
+//     sum instead.)
+//  2. Buffer occupancy within capacity.
+//  3. No negative credit counters.
+//
+// It returns an error describing the first violation found.
+func (n *Network) Audit() error {
+	cfg := n.cfg
+	for r, rt := range n.routers {
+		for p := 0; p < cfg.PortsPerRouter(); p++ {
+			out := rt.Output(p)
+			if out.Channel() == nil {
+				continue // unconnected mesh edge
+			}
+			for v := 0; v < cfg.VCs; v++ {
+				c := out.Credits(v)
+				if c < 0 {
+					return fmt.Errorf("network: router %d port %d vc %d has negative credits %d", r, p, v, c)
+				}
+				if c > cfg.BufDepth {
+					return fmt.Errorf("network: router %d port %d vc %d has %d credits > depth %d", r, p, v, c, cfg.BufDepth)
+				}
+			}
+		}
+		// Input buffers within capacity.
+		for p := 0; p < cfg.PortsPerRouter(); p++ {
+			for v := 0; v < cfg.VCs; v++ {
+				b := rt.InputBuffer(p, v)
+				if b.Len() > b.Cap() {
+					return fmt.Errorf("network: router %d input %d vc %d over capacity", r, p, v)
+				}
+			}
+		}
+	}
+	// Credit conservation across inter-router links: upstream credits +
+	// downstream occupancy must bracket the depth once in-flight slack (at
+	// most 2 flits on the wire + 1 credit in flight) is allowed.
+	idx := 0
+	for r := range n.routers {
+		x, y := cfg.routerXY(r)
+		neigh := [][3]int{
+			{DirE, DirW, cfg.RouterAt(minInt(x+1, cfg.MeshW-1), y)},
+			{DirW, DirE, cfg.RouterAt(maxInt(x-1, 0), y)},
+			{DirS, DirN, cfg.RouterAt(x, minInt(y+1, cfg.MeshH-1))},
+			{DirN, DirS, cfg.RouterAt(x, maxInt(y-1, 0))},
+		}
+		for _, h := range neigh {
+			if h[2] == r {
+				continue // edge of the mesh: no link wired
+			}
+			up := n.routers[r].Output(cfg.meshPort(h[0]))
+			down := n.routers[h[2]]
+			for v := 0; v < cfg.VCs; v++ {
+				sum := up.Credits(v) + down.InputBuffer(cfg.meshPort(h[1]), v).Len()
+				const slack = 3
+				if sum > cfg.BufDepth || sum < cfg.BufDepth-slack {
+					return fmt.Errorf("network: link router %d dir %d vc %d: credits+occupancy = %d, want within [%d,%d]",
+						r, h[0], v, sum, cfg.BufDepth-slack, cfg.BufDepth)
+				}
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,51 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// BenchmarkStepIdle measures the simulator's fixed per-cycle cost on the
+// full 64-rack system with no traffic.
+func BenchmarkStepIdle(b *testing.B) {
+	n := MustNew(DefaultConfig(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
+func benchStepAtLoad(b *testing.B, rate float64, pa bool) {
+	cfg := DefaultConfig()
+	cfg.PowerAware = pa
+	n := MustNew(cfg, traffic.NewUniform(cfg.Nodes(), rate, 5))
+	n.RunTo(5_000) // reach steady occupancy before timing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+	b.StopTimer()
+	if n.DeliveredPackets() == 0 {
+		b.Fatal("network delivered nothing")
+	}
+}
+
+// BenchmarkStepLight/Medium/Heavy measure cycles/second at the paper's
+// three load points on the power-aware system.
+func BenchmarkStepLight(b *testing.B)  { benchStepAtLoad(b, 1.25, true) }
+func BenchmarkStepMedium(b *testing.B) { benchStepAtLoad(b, 3.3, true) }
+func BenchmarkStepHeavy(b *testing.B)  { benchStepAtLoad(b, 5.05, true) }
+
+// BenchmarkStepNonPA isolates the policy controllers' overhead.
+func BenchmarkStepNonPA(b *testing.B) { benchStepAtLoad(b, 3.3, false) }
+
+// BenchmarkBuild measures full-system wiring cost (1248 links, 64 routers).
+func BenchmarkBuild(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// TestChaosRandomTransitions injects failure-like disturbances: random
+// bit-rate step requests are forced onto random links (bypassing the
+// policy) while traffic flows. Flow control must hold: no packet is lost,
+// duplicated, or wedged, and flit conservation is exact.
+func TestChaosRandomTransitions(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PowerAware = false // disable policy so chaos owns the levels
+	cfg.Link.LevelRates = []float64{5, 6, 7, 8, 9, 10}
+	gen := traffic.NewUniform(cfg.Nodes(), 0.3, 5)
+	n := MustNew(cfg, gen)
+	chaos := sim.NewRNG(99)
+
+	for step := 0; step < 60_000; step++ {
+		n.Step()
+		if step%50 == 0 {
+			ch := n.Channels()[chaos.Intn(len(n.Channels()))]
+			dir := +1
+			if chaos.Bernoulli(0.5) {
+				dir = -1
+			}
+			ch.PLink().RequestStep(n.Now(), dir)
+		}
+	}
+	// Quiesce: no further disturbances, let everything drain.
+	drainDeadline := n.Now() + 200_000
+	for n.Now() < drainDeadline && n.DeliveredPackets() < n.InjectedPackets() {
+		n.Step()
+	}
+
+	inj, del := n.InjectedPackets(), n.DeliveredPackets()
+	// The generator keeps injecting during the drain, so allow a small
+	// in-flight tail but no wedge.
+	if inj-del > 100 {
+		t.Fatalf("chaos wedged the network: injected %d, delivered %d", inj, del)
+	}
+	if del == 0 {
+		t.Fatal("nothing delivered under chaos")
+	}
+}
+
+// TestChaosOffLinks does the same with on/off-capable links: links are
+// randomly switched off mid-traffic and must wake on demand without losing
+// anything.
+func TestChaosOffLinks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PowerAware = false
+	cfg.Link.LevelRates = []float64{10}
+	cfg.Link.OffEnabled = true
+	cfg.Link.OffPowerW = 1e-3
+	cfg.Link.OffWakeCycles = 200
+	gen := traffic.NewUniform(cfg.Nodes(), 0.2, 5)
+	n := MustNew(cfg, gen)
+	chaos := sim.NewRNG(7)
+
+	for step := 0; step < 40_000; step++ {
+		n.Step()
+		if step%200 == 0 {
+			// Try to switch a random link off.
+			ch := n.Channels()[chaos.Intn(len(n.Channels()))]
+			ch.PLink().RequestStep(n.Now(), -1)
+		}
+	}
+	deadline := n.Now() + 200_000
+	for n.Now() < deadline && n.DeliveredPackets() < n.InjectedPackets() {
+		n.Step()
+	}
+	if inj, del := n.InjectedPackets(), n.DeliveredPackets(); inj-del > 100 {
+		t.Fatalf("off-link chaos wedged the network: injected %d delivered %d", inj, del)
+	}
+}
+
+// TestFlitConservation: delivered flit count equals the sum of delivered
+// packet sizes exactly.
+func TestFlitConservation(t *testing.T) {
+	cfg := smallConfig()
+	gen := traffic.NewUniform(cfg.Nodes(), 0.3, 7)
+	n := MustNew(cfg, gen)
+	n.RunTo(30_000)
+	// Every delivered packet is 7 flits; packets mid-ejection may have
+	// delivered some flits but not yet their tail.
+	flits, tails := n.DeliveredFlits(), n.DeliveredPackets()*7
+	if flits < tails {
+		t.Errorf("delivered flits %d below packets×size %d", flits, tails)
+	}
+	inFlight := n.InjectedPackets() - n.DeliveredPackets()
+	if flits-tails > inFlight*7 {
+		t.Errorf("excess flits %d exceed in-flight packets' worth (%d)", flits-tails, inFlight*7)
+	}
+}
+
+// TestFabricEnergySubset: fabric energy is a strict subset of total link
+// energy.
+func TestFabricEnergySubset(t *testing.T) {
+	cfg := smallConfig()
+	gen := traffic.NewUniform(cfg.Nodes(), 0.2, 5)
+	n := MustNew(cfg, gen)
+	n.RunTo(20_000)
+	fab, tot := n.FabricEnergyJ(), n.LinkEnergyJ()
+	if fab <= 0 || fab >= tot {
+		t.Errorf("fabric energy %g not within (0, total %g)", fab, tot)
+	}
+}
+
+// TestNICQueueLenReflectsBacklog: saturating one node's injection shows up
+// in its NIC queue length.
+func TestNICQueueLenReflectsBacklog(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PowerAware = false
+	gen := &burstGen{node: 2, dst: 5, count: 50, size: 20}
+	n := MustNew(cfg, gen)
+	n.RunTo(30) // all 50 packets created at cycle 1, few flits sent yet
+	if q := n.NICQueueLen(2); q < 40 {
+		t.Errorf("NIC queue %d, want most of the 50-packet burst", q)
+	}
+	n.RunTo(80_000)
+	if q := n.NICQueueLen(2); q != 0 {
+		t.Errorf("NIC queue %d after drain, want 0", q)
+	}
+}
+
+// TestAuditDuringChaos runs the conservation audit repeatedly while
+// traffic flows and random transitions fire.
+func TestAuditDuringChaos(t *testing.T) {
+	cfg := smallConfig()
+	gen := traffic.NewUniform(cfg.Nodes(), 0.3, 5)
+	n := MustNew(cfg, gen)
+	chaos := sim.NewRNG(3)
+	for step := 0; step < 30_000; step++ {
+		n.Step()
+		if step%50 == 0 {
+			ch := n.Channels()[chaos.Intn(len(n.Channels()))]
+			dir := +1
+			if chaos.Bernoulli(0.5) {
+				dir = -1
+			}
+			ch.PLink().RequestStep(n.Now(), dir)
+		}
+		if step%500 == 0 {
+			if err := n.Audit(); err != nil {
+				t.Fatalf("audit failed at cycle %d: %v", n.Now(), err)
+			}
+		}
+	}
+}
+
+// TestAuditQuiescent: after the network drains, credits must be exactly
+// restored (sum == depth, no slack needed).
+func TestAuditQuiescent(t *testing.T) {
+	cfg := smallConfig()
+	gen := &burstGen{node: 0, dst: 7, count: 20, size: 8}
+	n := MustNew(cfg, gen)
+	n.RunTo(100_000)
+	if n.DeliveredPackets() != 20 {
+		t.Fatalf("setup: delivered %d of 20", n.DeliveredPackets())
+	}
+	if err := n.Audit(); err != nil {
+		t.Fatalf("audit after quiesce: %v", err)
+	}
+	for r := 0; r < cfg.Routers(); r++ {
+		rt := n.Routers()[r]
+		for p := 0; p < cfg.PortsPerRouter(); p++ {
+			out := rt.Output(p)
+			if out.Channel() == nil {
+				continue
+			}
+			for v := 0; v < cfg.VCs; v++ {
+				if out.Credits(v) != cfg.BufDepth {
+					t.Errorf("router %d port %d vc %d: %d credits after quiesce, want %d",
+						r, p, v, out.Credits(v), cfg.BufDepth)
+				}
+			}
+		}
+	}
+}

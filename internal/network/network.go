@@ -1,0 +1,648 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/powerlink"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// Network is a fully wired power-aware opto-electronic networked system:
+// routers, NICs, every unidirectional link with its power state machine,
+// and (when power-aware) one policy controller per link.
+type Network struct {
+	cfg   Config
+	wheel *sim.Wheel
+
+	routers     []*router.Router
+	nics        []*NIC
+	channels    []*router.Channel
+	controllers []*policy.Controller
+
+	pool router.Pool
+	gen  traffic.Generator
+	rngs []*sim.RNG
+	inj  injHeap
+
+	activeOuts []*router.Output
+	activeNICs []*NIC
+	spareOuts  []*router.Output // second buffer for the work-list swap
+	spareNICs  []*NIC
+
+	now sim.Cycle
+
+	// Measurement state.
+	measureFrom    sim.Cycle
+	injectedPkts   int64
+	deliveredPkts  int64
+	deliveredFlits int64
+	latCount       int64
+	latSum         float64
+	latMin, latMax sim.Cycle
+	headLatCount   int64
+	headLatSum     float64
+	latHist        stats.Histogram
+
+	// OnDeliver, when set, observes every delivered packet (measured or
+	// not) — used by the experiment harnesses to build time series.
+	OnDeliver func(now sim.Cycle, p *router.Packet, latency sim.Cycle)
+}
+
+// New assembles a network from cfg with traffic generator gen (nil for a
+// quiet network driven only by tests).
+func New(cfg Config, gen traffic.Generator) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:    cfg,
+		wheel:  sim.NewWheel(4096),
+		gen:    gen,
+		latMin: -1,
+	}
+
+	// Routers.
+	route := n.routeXY
+	switch cfg.Routing {
+	case RoutingYX:
+		route = n.routeYX
+	case RoutingWestFirst:
+		route = n.routeWestFirst
+	}
+	n.routers = make([]*router.Router, cfg.Routers())
+	for r := range n.routers {
+		n.routers[r] = router.New(router.Config{
+			ID:       r,
+			Ports:    cfg.PortsPerRouter(),
+			VCs:      cfg.VCs,
+			BufDepth: cfg.BufDepth,
+			Route:    route,
+		}, n)
+	}
+
+	linkCfg := cfg.linkConfigFor()
+	newLink := func() (*powerlink.Link, error) { return powerlink.New(linkCfg) }
+
+	// Node (injection/ejection) links may be pinned at the top rate for
+	// the Table 3 sensitivity study; see Config.NodeLinksPowerAware.
+	nodeAware := cfg.PowerAware && cfg.NodeLinksPowerAware
+	nodeLinkCfg := linkCfg
+	if !nodeAware {
+		nodeLinkCfg.LevelRates = []float64{linkCfg.LevelRates[len(linkCfg.LevelRates)-1]}
+		nodeLinkCfg.Optical = nil
+		nodeLinkCfg.OffEnabled = false
+	}
+	newNodeLink := func() (*powerlink.Link, error) { return powerlink.New(nodeLinkCfg) }
+
+	addController := func(pl *powerlink.Link, ch *router.Channel, bufs []*router.Buffer) error {
+		if !cfg.PowerAware {
+			return nil
+		}
+		var capSum int
+		for _, b := range bufs {
+			capSum += b.Cap()
+		}
+		src := &utilSource{ch: ch, bufs: bufs, capSum: capSum}
+		pc, err := policy.NewController(cfg.Policy, pl, src)
+		if err != nil {
+			return err
+		}
+		n.controllers = append(n.controllers, pc)
+		return nil
+	}
+
+	// Inter-router mesh links.
+	for r := range n.routers {
+		x, y := cfg.routerXY(r)
+		type hop struct {
+			dir, revDir, nx, ny int
+		}
+		hops := []hop{
+			{DirE, DirW, x + 1, y},
+			{DirW, DirE, x - 1, y},
+			{DirS, DirN, x, y + 1},
+			{DirN, DirS, x, y - 1},
+		}
+		for _, h := range hops {
+			if h.nx < 0 || h.nx >= cfg.MeshW || h.ny < 0 || h.ny >= cfg.MeshH {
+				continue
+			}
+			dst := cfg.RouterAt(h.nx, h.ny)
+			pl, err := newLink()
+			if err != nil {
+				return nil, err
+			}
+			inPort := cfg.meshPort(h.revDir) // port at dst facing back
+			outPort := cfg.meshPort(h.dir)
+			ch := router.NewChannel(pl, n.wheel, n.routers[dst].AcceptFlit(inPort))
+			n.routers[r].ConnectOutput(outPort, ch)
+			bufs := make([]*router.Buffer, cfg.VCs)
+			for v := 0; v < cfg.VCs; v++ {
+				n.routers[dst].SetUpstream(inPort, v, n.routers[r].Output(outPort), v)
+				bufs[v] = n.routers[dst].InputBuffer(inPort, v)
+			}
+			n.channels = append(n.channels, ch)
+			if err := addController(pl, ch, bufs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Node links: injection (NIC -> router) and ejection (router -> sink).
+	nodes := cfg.Nodes()
+	n.nics = make([]*NIC, nodes)
+	for node := 0; node < nodes; node++ {
+		r := cfg.nodeRouter(node)
+		local := cfg.nodeLocal(node)
+
+		// Injection.
+		plIn, err := newNodeLink()
+		if err != nil {
+			return nil, err
+		}
+		chIn := router.NewChannel(plIn, n.wheel, n.routers[r].AcceptFlit(local))
+		nic := newNIC(n, node, chIn, cfg.VCs, cfg.BufDepth)
+		n.nics[node] = nic
+		bufs := make([]*router.Buffer, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			n.routers[r].SetUpstream(local, v, nic, v)
+			bufs[v] = n.routers[r].InputBuffer(local, v)
+		}
+		n.channels = append(n.channels, chIn)
+		if nodeAware {
+			if err := addController(plIn, chIn, bufs); err != nil {
+				return nil, err
+			}
+		}
+
+		// Ejection: the node's receive side consumes flits on arrival, so
+		// credits bounce straight back to the router's local output port.
+		plOut, err := newNodeLink()
+		if err != nil {
+			return nil, err
+		}
+		out := n.routers[r].Output(local)
+		chOut := router.NewChannel(plOut, n.wheel, n.sinkDeliver(out))
+		n.routers[r].ConnectOutput(local, chOut)
+		n.channels = append(n.channels, chOut)
+		// Ejection terminates at an always-ready sink: no downstream
+		// buffer, so Bu = 0 and the uncongested thresholds apply.
+		if nodeAware {
+			if err := addController(plOut, chOut, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if len(n.channels) != cfg.TotalLinks() {
+		return nil, fmt.Errorf("network: wired %d links, expected %d", len(n.channels), cfg.TotalLinks())
+	}
+
+	// Traffic sources.
+	if gen != nil {
+		master := sim.NewRNG(cfg.Seed)
+		n.rngs = make([]*sim.RNG, nodes)
+		for node := 0; node < nodes; node++ {
+			n.rngs[node] = master.Fork()
+		}
+		for node := 0; node < nodes; node++ {
+			if at, dst, size, ok := gen.Next(node, -1, n.rngs[node]); ok {
+				n.inj.push(injEvent{at: at, node: int32(node), dst: int32(dst), size: int32(size)})
+			}
+		}
+	}
+	return n, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config, gen traffic.Generator) *Network {
+	n, err := New(cfg, gen)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// routeXY is dimension-order routing: X first, then Y, then the local
+// ejection port — deadlock-free on the mesh.
+func (n *Network) routeXY(routerID int, p *router.Packet) int {
+	if p.DstRouter == routerID {
+		return p.DstLocal
+	}
+	x, y := n.cfg.routerXY(routerID)
+	dx, dy := n.cfg.routerXY(p.DstRouter)
+	switch {
+	case dx > x:
+		return n.cfg.meshPort(DirE)
+	case dx < x:
+		return n.cfg.meshPort(DirW)
+	case dy > y:
+		return n.cfg.meshPort(DirS)
+	default:
+		return n.cfg.meshPort(DirN)
+	}
+}
+
+// routeYX is dimension-order routing with Y resolved first.
+func (n *Network) routeYX(routerID int, p *router.Packet) int {
+	if p.DstRouter == routerID {
+		return p.DstLocal
+	}
+	x, y := n.cfg.routerXY(routerID)
+	dx, dy := n.cfg.routerXY(p.DstRouter)
+	switch {
+	case dy > y:
+		return n.cfg.meshPort(DirS)
+	case dy < y:
+		return n.cfg.meshPort(DirN)
+	case dx > x:
+		return n.cfg.meshPort(DirE)
+	default:
+		return n.cfg.meshPort(DirW)
+	}
+}
+
+// routeWestFirst implements the adaptive west-first turn model: all
+// westward hops first, then adaptive minimal routing among the remaining
+// productive directions, selecting the output with the most free
+// downstream credits (ties prefer the X dimension).
+func (n *Network) routeWestFirst(routerID int, p *router.Packet) int {
+	if p.DstRouter == routerID {
+		return p.DstLocal
+	}
+	x, y := n.cfg.routerXY(routerID)
+	dx, dy := n.cfg.routerXY(p.DstRouter)
+	if dx < x {
+		return n.cfg.meshPort(DirW)
+	}
+	var cand []int
+	if dx > x {
+		cand = append(cand, n.cfg.meshPort(DirE))
+	}
+	if dy > y {
+		cand = append(cand, n.cfg.meshPort(DirS))
+	} else if dy < y {
+		cand = append(cand, n.cfg.meshPort(DirN))
+	}
+	if len(cand) == 1 {
+		return cand[0]
+	}
+	r := n.routers[routerID]
+	best, bestScore := cand[0], r.Output(cand[0]).TotalCredits()
+	for _, c := range cand[1:] {
+		if score := r.Output(c).TotalCredits(); score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// Wheel implements router.Scheduler.
+func (n *Network) Wheel() *sim.Wheel { return n.wheel }
+
+// ActivateOutput implements router.Scheduler.
+func (n *Network) ActivateOutput(o *router.Output) {
+	if !o.Active() {
+		o.SetActive(true)
+		n.activeOuts = append(n.activeOuts, o)
+	}
+}
+
+func (n *Network) activateNIC(nc *NIC) {
+	if !nc.active {
+		nc.active = true
+		n.activeNICs = append(n.activeNICs, nc)
+	}
+}
+
+// sinkDeliver builds the delivery function for an ejection link: flits are
+// consumed on arrival, credits return to the router's local output port,
+// and tail flits complete their packet.
+func (n *Network) sinkDeliver(out *router.Output) router.DeliverFunc {
+	return func(now sim.Cycle, f router.FlitRef) {
+		out.ReturnCredit(now, int(f.VC))
+		n.deliveredFlits++
+		if f.IsHead() && f.Pkt.CreatedAt >= n.measureFrom {
+			// Head-arrival latency, kept alongside the paper's stated
+			// creation-to-tail-ejection metric; see EXPERIMENTS.md.
+			n.headLatCount++
+			n.headLatSum += float64(now - f.Pkt.CreatedAt)
+		}
+		if !f.IsTail() {
+			return
+		}
+		p := f.Pkt
+		lat := now - p.CreatedAt
+		n.deliveredPkts++
+		if p.CreatedAt >= n.measureFrom {
+			n.latCount++
+			n.latSum += float64(lat)
+			if n.latMin < 0 || lat < n.latMin {
+				n.latMin = lat
+			}
+			if lat > n.latMax {
+				n.latMax = lat
+			}
+			n.latHist.Record(lat)
+		}
+		if n.OnDeliver != nil {
+			n.OnDeliver(now, p, lat)
+		}
+		n.pool.Put(p)
+	}
+}
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	now := n.now
+
+	// 1. Timed events: flit deliveries, credit returns, pipeline
+	//    eligibility, channel/NIC wake-ups.
+	n.wheel.Advance(now)
+
+	// 2. New traffic.
+	for n.inj.len() > 0 && n.inj.top().at <= now {
+		ev := n.inj.pop()
+		nc := n.nics[ev.node]
+		nc.enqueue(pktDesc{created: ev.at, dst: ev.dst, size: ev.size})
+		n.injectedPkts++
+		n.activateNIC(nc)
+		if at, dst, size, ok := n.gen.Next(int(ev.node), ev.at, n.rngs[ev.node]); ok {
+			n.inj.push(injEvent{at: at, node: ev.node, dst: int32(dst), size: int32(size)})
+		}
+	}
+
+	// 3. Injection: each active NIC may start serialising one flit.
+	// Processing can re-activate entries, so the retained list must use a
+	// different backing array than the one being iterated.
+	nics := n.activeNICs
+	n.activeNICs = n.spareNICs[:0]
+	for _, nc := range nics {
+		if nc.tryInject(now) {
+			n.activeNICs = append(n.activeNICs, nc)
+		}
+	}
+	n.spareNICs = nics[:0]
+
+	// 4. Switch allocation: each active output may grant one flit.
+	outs := n.activeOuts
+	n.activeOuts = n.spareOuts[:0]
+	for _, o := range outs {
+		if o.TryGrant(now) {
+			n.activeOuts = append(n.activeOuts, o)
+		}
+	}
+	n.spareOuts = outs[:0]
+
+	// 5. Policy windows.
+	if len(n.controllers) > 0 && now > 0 && now%n.cfg.Policy.Window == 0 {
+		for _, c := range n.controllers {
+			c.Tick(now)
+		}
+	}
+
+	n.now = now + 1
+}
+
+// RunTo advances the simulation to cycle t.
+func (n *Network) RunTo(t sim.Cycle) {
+	for n.now < t {
+		n.Step()
+	}
+}
+
+// Now returns the current cycle.
+func (n *Network) Now() sim.Cycle { return n.now }
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// SetMeasureFrom discards latency statistics for packets created before t
+// (warm-up exclusion) and resets the aggregate latency counters.
+func (n *Network) SetMeasureFrom(t sim.Cycle) {
+	n.measureFrom = t
+	n.latCount, n.latSum, n.latMin, n.latMax = 0, 0, -1, 0
+	n.headLatCount, n.headLatSum = 0, 0
+	n.latHist.Reset()
+}
+
+// LatencyQuantile returns the q-quantile of measured packet latencies
+// (log-bucket estimate, ~9 % resolution).
+func (n *Network) LatencyQuantile(q float64) float64 {
+	return n.latHist.Quantile(q)
+}
+
+// InjectedPackets returns the number of packets offered by the sources.
+func (n *Network) InjectedPackets() int64 { return n.injectedPkts }
+
+// DeliveredPackets returns the number of packets fully ejected.
+func (n *Network) DeliveredPackets() int64 { return n.deliveredPkts }
+
+// DeliveredFlits returns the number of flits ejected.
+func (n *Network) DeliveredFlits() int64 { return n.deliveredFlits }
+
+// MeasuredPackets returns the count of measured (post-warm-up) packets.
+func (n *Network) MeasuredPackets() int64 { return n.latCount }
+
+// MeanLatency returns the mean measured packet latency in cycles.
+func (n *Network) MeanLatency() float64 {
+	if n.latCount == 0 {
+		return 0
+	}
+	return n.latSum / float64(n.latCount)
+}
+
+// MeanHeadLatency returns the mean latency from packet creation to the
+// ejection of its head flit — excluding body serialisation.
+func (n *Network) MeanHeadLatency() float64 {
+	if n.headLatCount == 0 {
+		return 0
+	}
+	return n.headLatSum / float64(n.headLatCount)
+}
+
+// MaxLatency returns the maximum measured packet latency.
+func (n *Network) MaxLatency() sim.Cycle { return n.latMax }
+
+// MinLatency returns the minimum measured packet latency (-1 when none).
+func (n *Network) MinLatency() sim.Cycle { return n.latMin }
+
+// LinkEnergyJ returns total energy consumed by all links up to now.
+func (n *Network) LinkEnergyJ() float64 {
+	var e float64
+	for _, ch := range n.channels {
+		e += ch.PLink().EnergyJ(n.now)
+	}
+	return e
+}
+
+// LinkPowerW returns the instantaneous total link power.
+func (n *Network) LinkPowerW() float64 {
+	var p float64
+	for _, ch := range n.channels {
+		p += ch.PLink().PowerW(n.now)
+	}
+	return p
+}
+
+// Channels exposes every link for diagnostics and tests. Inter-router
+// links come first (Config.InterRouterLinks of them), then each node's
+// injection and ejection links in node order.
+func (n *Network) Channels() []*router.Channel { return n.channels }
+
+// FabricEnergyJ returns the energy consumed by the router-to-router links
+// only — the denominator used when node links are pinned at full rate
+// (Config.NodeLinksPowerAware = false).
+func (n *Network) FabricEnergyJ() float64 {
+	var e float64
+	for _, ch := range n.channels[:n.cfg.InterRouterLinks()] {
+		e += ch.PLink().EnergyJ(n.now)
+	}
+	return e
+}
+
+// Routers exposes the routers for diagnostics and tests.
+func (n *Network) Routers() []*router.Router { return n.routers }
+
+// Controllers exposes the policy controllers (empty when !PowerAware).
+func (n *Network) Controllers() []*policy.Controller { return n.controllers }
+
+// NICQueueLen returns the number of packets waiting at node's NIC
+// (including the one being serialised).
+func (n *Network) NICQueueLen(node int) int {
+	nc := n.nics[node]
+	q := nc.q.n
+	if nc.cur != nil {
+		q++
+	}
+	return q
+}
+
+// LevelHistogram returns how many links currently sit at each electrical
+// level (index = level; off-links counted in Off). A quick health read of
+// what the policy is doing.
+func (n *Network) LevelHistogram() (levels []int, off int) {
+	levels = make([]int, len(n.cfg.Link.LevelRates))
+	for _, ch := range n.channels {
+		lv := ch.PLink().Level(n.now)
+		if lv < 0 {
+			off++
+			continue
+		}
+		// Non-power-aware links have a single level; map it to the top of
+		// the configured ladder for reporting.
+		if ch.PLink().NumLevels() == 1 {
+			lv = len(levels) - 1
+		}
+		if lv < len(levels) {
+			levels[lv]++
+		}
+	}
+	return levels, off
+}
+
+// TimeAtLevelHistogram aggregates, across all links, the fraction of
+// link-time spent at each electrical level since the start of the run.
+func (n *Network) TimeAtLevelHistogram() []float64 {
+	out := make([]float64, len(n.cfg.Link.LevelRates))
+	var total float64
+	for _, ch := range n.channels {
+		st := ch.PLink().Stats(n.now)
+		if len(st.TimeAtLevel) == 1 {
+			out[len(out)-1] += float64(st.TimeAtLevel[0])
+			total += float64(st.TimeAtLevel[0])
+			continue
+		}
+		for lv, c := range st.TimeAtLevel {
+			if lv < len(out) {
+				out[lv] += float64(c)
+			}
+			total += float64(c)
+		}
+		total += float64(st.TimeOff)
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// utilSource adapts one channel + downstream buffers to the policy's view.
+type utilSource struct {
+	ch     *router.Channel
+	bufs   []*router.Buffer
+	capSum int
+}
+
+func (u *utilSource) BusyCycles() float64 { return u.ch.BusyCycles() }
+
+func (u *utilSource) FlitCount() int64 { return u.ch.Flits() }
+
+func (u *utilSource) BufferOccupancyIntegral(now sim.Cycle) float64 {
+	var s float64
+	for _, b := range u.bufs {
+		s += b.OccupancyIntegral(now)
+	}
+	return s
+}
+
+func (u *utilSource) BufferCapacity() int { return u.capSum }
+
+// injEvent is one pending source injection.
+type injEvent struct {
+	at   sim.Cycle
+	node int32
+	dst  int32
+	size int32
+}
+
+// injHeap is a binary min-heap of injection events ordered by time.
+type injHeap struct {
+	ev []injEvent
+}
+
+func (h *injHeap) len() int      { return len(h.ev) }
+func (h *injHeap) top() injEvent { return h.ev[0] }
+
+func (h *injHeap) push(e injEvent) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.ev[parent].at <= h.ev[i].at {
+			break
+		}
+		h.ev[parent], h.ev[i] = h.ev[i], h.ev[parent]
+		i = parent
+	}
+}
+
+func (h *injHeap) pop() injEvent {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.ev) && h.ev[l].at < h.ev[smallest].at {
+			smallest = l
+		}
+		if r < len(h.ev) && h.ev[r].at < h.ev[smallest].at {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+	return top
+}

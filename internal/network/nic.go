@@ -1,0 +1,151 @@
+package network
+
+import (
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// pktDesc is a queued injection awaiting transmission by a NIC.
+type pktDesc struct {
+	created sim.Cycle
+	dst     int32
+	size    int32
+}
+
+// descQueue is a growable ring buffer of packet descriptors; the NIC's
+// source queue. It is unbounded — source queueing delay is part of the
+// paper's latency metric ("from the creation of the first flit of the
+// packet till the ejection of its last flit").
+type descQueue struct {
+	buf  []pktDesc
+	head int
+	n    int
+}
+
+func (q *descQueue) push(d pktDesc) {
+	if q.n == len(q.buf) {
+		grown := make([]pktDesc, maxInt(16, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = d
+	q.n++
+}
+
+func (q *descQueue) pop() pktDesc {
+	d := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NIC is a processing node's network interface: it segments queued packets
+// into flits and streams them over the node's injection link into the
+// router's local input port, respecting credit flow control.
+type NIC struct {
+	net  *Network
+	node int
+	ch   *router.Channel
+
+	credits []int // per router-input VC
+	q       descQueue
+	cur     *router.Packet
+	curSeq  int32
+	curVC   int
+
+	active      bool
+	wakePending bool
+	wakeEvt     sim.Event
+}
+
+func newNIC(net *Network, node int, ch *router.Channel, vcs, bufDepth int) *NIC {
+	nc := &NIC{net: net, node: node, ch: ch, credits: make([]int, vcs)}
+	for v := range nc.credits {
+		nc.credits[v] = bufDepth
+	}
+	nc.wakeEvt = func(now sim.Cycle) {
+		nc.wakePending = false
+		if nc.cur != nil || nc.q.n > 0 {
+			nc.net.activateNIC(nc)
+		}
+	}
+	return nc
+}
+
+func (nc *NIC) enqueue(d pktDesc) { nc.q.push(d) }
+
+// ReturnCredit implements router.CreditSink: the router freed one slot of
+// the injection port's VC buffer.
+func (nc *NIC) ReturnCredit(now sim.Cycle, vc int) {
+	nc.credits[vc]++
+	if nc.cur != nil || nc.q.n > 0 {
+		nc.net.activateNIC(nc)
+	}
+}
+
+// tryInject attempts to start serialising one flit at cycle now. It
+// returns whether the NIC should stay on the active list.
+func (nc *NIC) tryInject(now sim.Cycle) bool {
+	if nc.cur == nil {
+		if nc.q.n == 0 {
+			nc.active = false
+			return false
+		}
+		d := nc.q.pop()
+		p := nc.net.pool.Get()
+		p.Src = nc.node
+		p.Dst = int(d.dst)
+		p.DstRouter = nc.net.cfg.nodeRouter(int(d.dst))
+		p.DstLocal = nc.net.cfg.nodeLocal(int(d.dst))
+		p.Len = int(d.size)
+		p.CreatedAt = d.created
+		nc.cur = p
+		nc.curSeq = 0
+		// Claim the VC with the most credits for the whole packet
+		// (wormhole: one VC per packet per hop).
+		best := 0
+		for v := 1; v < len(nc.credits); v++ {
+			if nc.credits[v] > nc.credits[best] {
+				best = v
+			}
+		}
+		nc.curVC = best
+	}
+
+	if !nc.ch.Usable(now) {
+		nc.active = false
+		if !nc.wakePending {
+			nc.wakePending = true
+			at := nc.ch.NextUsableAt(now)
+			if at <= now {
+				at = now + 1
+			}
+			nc.net.wheel.Schedule(at, nc.wakeEvt)
+		}
+		return false
+	}
+	if nc.credits[nc.curVC] == 0 {
+		// Out of credits: the router's credit return reactivates us.
+		nc.active = false
+		return false
+	}
+
+	nc.credits[nc.curVC]--
+	f := router.FlitRef{Pkt: nc.cur, Seq: nc.curSeq, VC: int8(nc.curVC)}
+	nc.ch.Send(now, f)
+	nc.curSeq++
+	if int(nc.curSeq) == nc.cur.Len {
+		nc.cur = nil
+	}
+	return true
+}

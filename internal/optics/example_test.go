@@ -1,0 +1,25 @@
+package optics_test
+
+import (
+	"fmt"
+
+	"repro/internal/optics"
+)
+
+// Check that the paper's external-laser distribution (1:64 across racks,
+// 1:20 within a rack) delivers enough light to each receiver.
+func ExampleBudget() {
+	b := optics.PaperBudget(0.5, 3.0) // 500 mW laser, 3 dB modulator IL
+	fmt.Printf("path loss: %.1f dB\n", b.TotalLossDB())
+	fmt.Printf("received: %.1f µW\n", b.ReceivedPowerW()*1e6)
+	fmt.Printf("closes at 25 µW sensitivity: %v\n", b.Check(25e-6, 0) == nil)
+	// Output:
+	// path loss: 38.6 dB
+	// received: 69.3 µW
+	// closes at 25 µW sensitivity: true
+}
+
+func ExampleQFromBER() {
+	fmt.Printf("Q for BER 1e-12: %.2f\n", optics.QFromBER(1e-12))
+	// Output: Q for BER 1e-12: 7.03
+}

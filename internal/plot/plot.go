@@ -1,0 +1,215 @@
+// Package plot renders line charts as standalone SVG files — enough to
+// regenerate the paper's figures as images from the experiment series,
+// with axes, ticks, legends and multiple curves, using only the standard
+// library.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a 2-D line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width/Height in pixels (defaults 720×440).
+	Width, Height int
+	// YMin/YMax fix the y-range; both zero = auto.
+	YMin, YMax float64
+	// LogY plots log10(y) (all y must be positive).
+	LogY bool
+}
+
+// default palette: distinguishable without being garish.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 16.0
+	marginTop    = 36.0
+	marginBottom = 48.0
+)
+
+// Add appends a curve built from parallel x/y slices.
+func (c *Chart) Add(name string, x, y []float64) {
+	c.Series = append(c.Series, Series{Name: name, X: x, Y: y})
+}
+
+// WriteSVG renders the chart.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 440
+	}
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+
+	xMin, xMax, yMin, yMax, err := c.ranges()
+	if err != nil {
+		return err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+			marginLeft, escape(c.Title))
+	}
+
+	toX := func(x float64) float64 {
+		if xMax == xMin {
+			return marginLeft + plotW/2
+		}
+		return marginLeft + (x-xMin)/(xMax-xMin)*plotW
+	}
+	toY := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		lo, hi := yMin, yMax
+		if c.LogY {
+			lo, hi = math.Log10(yMin), math.Log10(yMax)
+		}
+		if hi == lo {
+			return marginTop + plotH/2
+		}
+		return marginTop + plotH - (y-lo)/(hi-lo)*plotH
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+
+	// Ticks (5 per axis).
+	for i := 0; i <= 5; i++ {
+		fx := xMin + float64(i)/5*(xMax-xMin)
+		px := toX(fx)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n",
+			px, marginTop+plotH, px, marginTop+plotH+4)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px, marginTop+plotH+16, tickLabel(fx))
+
+		var fy float64
+		if c.LogY {
+			fy = math.Pow(10, math.Log10(yMin)+float64(i)/5*(math.Log10(yMax)-math.Log10(yMin)))
+		} else {
+			fy = yMin + float64(i)/5*(yMax-yMin)
+		}
+		py := toY(fy)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333"/>`+"\n",
+			marginLeft-4, py, marginLeft, py)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-7, py+3, tickLabel(fy))
+		// Light gridline.
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#eee"/>`+"\n",
+			marginLeft, py, marginLeft+plotW, py)
+	}
+
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+plotW/2, float64(height)-8, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+			marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+	}
+
+	// Curves.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) || (c.LogY && s.Y[i] <= 0) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", toX(s.X[i]), toY(s.Y[i])))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.6" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		// Legend entry.
+		lx := marginLeft + plotW - 180
+		ly := marginTop + 14 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+18, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+24, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// ranges computes the plotted extents.
+func (c *Chart) ranges() (xMin, xMax, yMin, yMax float64, err error) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return 0, 0, 0, 0, fmt.Errorf("plot: chart %q has no data", c.Title)
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		yMin, yMax = c.YMin, c.YMax
+	}
+	if c.LogY && yMin <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("plot: log scale needs positive y (min %g)", yMin)
+	}
+	if yMin == yMax {
+		yMax = yMin + 1
+	}
+	return xMin, xMax, yMin, yMax, nil
+}
+
+func tickLabel(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

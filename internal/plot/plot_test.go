@@ -1,0 +1,111 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestBasicChart(t *testing.T) {
+	c := &Chart{Title: "latency", XLabel: "rate", YLabel: "cycles"}
+	c.Add("non-PA", []float64{1, 2, 3}, []float64{10, 20, 30})
+	c.Add("PA", []float64{1, 2, 3}, []float64{15, 25, 40})
+	svg := render(t, c)
+	for _, want := range []string{"<svg", "</svg>", "polyline", "latency", "non-PA", "PA", "rate", "cycles"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestEmptyChartErrors(t *testing.T) {
+	c := &Chart{Title: "void"}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err == nil {
+		t.Error("empty chart rendered without error")
+	}
+}
+
+func TestNaNPointsSkipped(t *testing.T) {
+	c := &Chart{}
+	c.Add("gappy", []float64{1, 2, 3, 4}, []float64{1, math.NaN(), 3, 4})
+	svg := render(t, c)
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into SVG")
+	}
+}
+
+func TestLogScale(t *testing.T) {
+	c := &Chart{LogY: true}
+	c.Add("exp", []float64{1, 2, 3}, []float64{10, 100, 1000})
+	svg := render(t, c)
+	if !strings.Contains(svg, "polyline") {
+		t.Error("log chart has no curve")
+	}
+	// Non-positive y with log scale errors.
+	c2 := &Chart{LogY: true}
+	c2.Add("bad", []float64{1}, []float64{0})
+	var buf bytes.Buffer
+	if err := c2.WriteSVG(&buf); err == nil {
+		t.Error("log scale accepted non-positive y")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &Chart{Title: `a<b & "c"`}
+	c.Add("s<1>", []float64{0, 1}, []float64{0, 1})
+	svg := render(t, c)
+	if strings.Contains(svg, "a<b") || strings.Contains(svg, "s<1>") {
+		t.Error("unescaped markup in SVG text")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Error("title not escaped correctly")
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	c := &Chart{YMin: 0, YMax: 1}
+	c.Add("p", []float64{0, 1}, []float64{0.2, 0.4})
+	svg := render(t, c)
+	if !strings.Contains(svg, ">1<") && !strings.Contains(svg, ">1.0") {
+		// The top tick should reflect the forced max of 1.
+		t.Logf("svg ticks: %s", svg)
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	c := &Chart{}
+	c.Add("flat", []float64{1, 2, 3}, []float64{5, 5, 5})
+	svg := render(t, c) // must not divide by zero
+	if !strings.Contains(svg, "polyline") {
+		t.Error("flat series lost")
+	}
+}
+
+func TestTickLabels(t *testing.T) {
+	cases := map[float64]string{
+		1_500_000: "1.5M",
+		25_000:    "25k",
+		250:       "250",
+		2.5:       "2.5",
+		0.25:      "0.25",
+	}
+	for v, want := range cases {
+		if got := tickLabel(v); got != want {
+			t.Errorf("tickLabel(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

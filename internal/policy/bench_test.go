@@ -1,0 +1,45 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkTick measures one policy-window evaluation — executed once per
+// link per Tw, 1248×1562 times in a full Fig. 6 run.
+func BenchmarkTick(b *testing.B) {
+	src := &fakeSource{cap: 16}
+	c, _ := newTestControllerB(b, PaperConfig(), src)
+	now := sim.Cycle(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.addWindow(0.5, 0.2, c.Window(), 16)
+		now += c.Window()
+		c.Tick(now)
+	}
+}
+
+func newTestControllerB(b *testing.B, cfg Config, src UtilizationSource) (*Controller, struct{}) {
+	b.Helper()
+	c, err := NewController(cfg, testLink(), src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, struct{}{}
+}
+
+func BenchmarkTickEWMA(b *testing.B) {
+	cfg := PaperConfig()
+	cfg.Predictor = PredictEWMA
+	cfg.EWMAAlpha = 0.5
+	src := &fakeSource{cap: 16}
+	c, _ := newTestControllerB(b, cfg, src)
+	now := sim.Cycle(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.addWindow(0.5, 0.2, c.Window(), 16)
+		now += c.Window()
+		c.Tick(now)
+	}
+}

@@ -1,0 +1,337 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/linkmodel"
+	"repro/internal/powerlink"
+	"repro/internal/sim"
+)
+
+// fakeSource lets tests feed arbitrary utilisation to a controller.
+type fakeSource struct {
+	busy   float64
+	flits  int64
+	occInt float64
+	cap    int
+}
+
+func (f *fakeSource) BusyCycles() float64                           { return f.busy }
+func (f *fakeSource) FlitCount() int64                              { return f.flits }
+func (f *fakeSource) BufferOccupancyIntegral(now sim.Cycle) float64 { return f.occInt }
+func (f *fakeSource) BufferCapacity() int                           { return f.cap }
+func (f *fakeSource) addWindow(lu, bu float64, window sim.Cycle, cap int) {
+	f.busy += lu * float64(window)
+	f.occInt += bu * float64(cap) * float64(window)
+}
+
+func testLink() *powerlink.Link {
+	return powerlink.MustNew(powerlink.Config{
+		Scheme:     linkmodel.SchemeVCSEL,
+		Params:     linkmodel.DefaultParams(),
+		LevelRates: powerlink.Levels(5, 10, 6),
+		Tbr:        20,
+		Tv:         100,
+	})
+}
+
+func newTestController(t *testing.T, cfg Config, src UtilizationSource) (*Controller, *powerlink.Link) {
+	t.Helper()
+	link := testLink()
+	c, err := NewController(cfg, link, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, link
+}
+
+func TestPaperThresholdsTable1(t *testing.T) {
+	th := PaperThresholds()
+	lo, hi := th.Select(0.2)
+	if lo != 0.4 || hi != 0.6 {
+		t.Errorf("uncongested thresholds (%g,%g), want (0.4,0.6)", lo, hi)
+	}
+	lo, hi = th.Select(0.5) // Bu >= Bu,con counts as congested
+	if lo != 0.6 || hi != 0.7 {
+		t.Errorf("congested thresholds (%g,%g), want (0.6,0.7)", lo, hi)
+	}
+}
+
+func TestThresholdsAround(t *testing.T) {
+	th := ThresholdsAround(0.5)
+	if th.LowUncongested != 0.45 || th.HighUncongested != 0.55 {
+		t.Errorf("ThresholdsAround(0.5) uncongested = (%g,%g)", th.LowUncongested, th.HighUncongested)
+	}
+	if err := th.Validate(); err != nil {
+		t.Errorf("ThresholdsAround(0.5) invalid: %v", err)
+	}
+	// Extremes stay in (0,1).
+	for _, avg := range []float64{0.01, 0.99} {
+		if err := ThresholdsAround(avg).Validate(); err != nil {
+			t.Errorf("ThresholdsAround(%g) invalid: %v", avg, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Window: 0, SlidingN: 1, Thresholds: PaperThresholds()},
+		{Window: 1000, SlidingN: 0, Thresholds: PaperThresholds()},
+		{Window: 1000, SlidingN: 1, Thresholds: Thresholds{LowUncongested: 0.7, HighUncongested: 0.6, LowCongested: 0.1, HighCongested: 0.2}},
+		{Window: 1000, SlidingN: 1, Thresholds: PaperThresholds(), LaserEpoch: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func cfgN1() Config {
+	c := PaperConfig()
+	c.SlidingN = 1
+	return c
+}
+
+// TestStepsDownWhenIdle: an idle link must be stepped down each window.
+func TestStepsDownWhenIdle(t *testing.T) {
+	src := &fakeSource{cap: 16}
+	c, link := newTestController(t, cfgN1(), src)
+	now := sim.Cycle(0)
+	for i := 0; i < 10; i++ {
+		now += c.Window()
+		if d := c.Tick(now); d != StepDown && link.Level(now) > 0 {
+			t.Fatalf("window %d: decision %v at level %d, want step down", i, d, link.Level(now))
+		}
+	}
+	if got := link.Level(now); got != 0 {
+		t.Errorf("idle link settled at level %d, want 0", got)
+	}
+	st := c.Stats()
+	if st.Downs == 0 || st.Windows != 10 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestStepsUpWhenBusy: a saturated link must climb back to the top.
+func TestStepsUpWhenBusy(t *testing.T) {
+	src := &fakeSource{cap: 16}
+	c, link := newTestController(t, cfgN1(), src)
+	now := sim.Cycle(0)
+	// First drive it down two levels (each transition needs Tbr+Tv = 120
+	// cycles after the tick to complete).
+	for i := 0; i < 2; i++ {
+		now += c.Window()
+		c.Tick(now)
+	}
+	if got := link.Level(now + 200); got != 3 {
+		t.Fatalf("setup: level %d, want 3", got)
+	}
+	// Now saturate: Lu = 0.9 per window.
+	for i := 0; i < 4; i++ {
+		src.addWindow(0.9, 0.1, c.Window(), 16)
+		now += c.Window()
+		c.Tick(now)
+	}
+	if got := link.Level(now + 200); got != 5 {
+		t.Errorf("busy link at level %d, want back at 5", got)
+	}
+}
+
+// TestHoldsInBand: utilisation between TL and TH leaves the rate alone.
+func TestHoldsInBand(t *testing.T) {
+	src := &fakeSource{cap: 16}
+	c, link := newTestController(t, cfgN1(), src)
+	now := sim.Cycle(0)
+	for i := 0; i < 5; i++ {
+		src.addWindow(0.5, 0.1, c.Window(), 16) // between 0.4 and 0.6
+		now += c.Window()
+		if d := c.Tick(now); d != Hold {
+			t.Fatalf("window %d: decision %v, want hold", i, d)
+		}
+	}
+	if link.Level(now) != 5 {
+		t.Errorf("level %d after holds, want 5", link.Level(now))
+	}
+	if c.Stats().Holds != 5 {
+		t.Errorf("holds = %d, want 5", c.Stats().Holds)
+	}
+}
+
+// TestCongestionRaisesThresholds: Lu = 0.65 steps up when uncongested
+// (TH = 0.6) but not when congested (TH = 0.7) — Table 1's behaviour.
+func TestCongestionRaisesThresholds(t *testing.T) {
+	{
+		src := &fakeSource{cap: 16}
+		c, _ := newTestController(t, cfgN1(), src)
+		src.addWindow(0.65, 0.1, c.Window(), 16)
+		if d := c.Tick(c.Window()); d != StepUp {
+			t.Errorf("uncongested Lu=0.65: %v, want up", d)
+		}
+	}
+	{
+		src := &fakeSource{cap: 16}
+		c, _ := newTestController(t, cfgN1(), src)
+		src.addWindow(0.65, 0.9, c.Window(), 16)
+		if d := c.Tick(c.Window()); d != Hold {
+			t.Errorf("congested Lu=0.65: %v, want hold", d)
+		}
+	}
+	// And a congested link at Lu=0.65 > TL=0.6 is NOT stepped down either,
+	// while an uncongested link at Lu=0.3 is.
+	{
+		src := &fakeSource{cap: 16}
+		c, _ := newTestController(t, cfgN1(), src)
+		src.addWindow(0.3, 0.1, c.Window(), 16)
+		if d := c.Tick(c.Window()); d != StepDown {
+			t.Errorf("uncongested Lu=0.3: %v, want down", d)
+		}
+	}
+}
+
+// TestSlidingAverage: with N=4, one busy window after three idle ones must
+// not trigger an upgrade (average too low).
+func TestSlidingAverage(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.SlidingN = 4
+	src := &fakeSource{cap: 16}
+	c, _ := newTestController(t, cfg, src)
+	now := sim.Cycle(0)
+	decisions := []Decision{}
+	lus := []float64{0.0, 0.0, 0.0, 0.9}
+	for _, lu := range lus {
+		src.addWindow(lu, 0.1, c.Window(), 16)
+		now += c.Window()
+		decisions = append(decisions, c.Tick(now))
+	}
+	// Final window: average = (0+0+0+0.9)/4 = 0.225 < 0.4 → still down.
+	if last := decisions[len(decisions)-1]; last != StepDown {
+		t.Errorf("burst after idle with N=4: %v, want StepDown (smoothed)", last)
+	}
+	// With N=1 the same burst triggers an immediate upgrade.
+	src2 := &fakeSource{cap: 16}
+	c2, _ := newTestController(t, cfgN1(), src2)
+	now2 := sim.Cycle(0)
+	var last Decision
+	for _, lu := range lus {
+		src2.addWindow(lu, 0.1, c2.Window(), 16)
+		now2 += c2.Window()
+		last = c2.Tick(now2)
+	}
+	if last != StepUp {
+		t.Errorf("burst with N=1: %v, want StepUp", last)
+	}
+}
+
+// TestRejectedCounted: stepping down at the bottom level is requested but
+// rejected by the link.
+func TestRejectedCounted(t *testing.T) {
+	src := &fakeSource{cap: 16}
+	c, link := newTestController(t, cfgN1(), src)
+	now := sim.Cycle(0)
+	for i := 0; i < 10; i++ {
+		now += c.Window()
+		c.Tick(now)
+	}
+	if link.Level(now) != 0 {
+		t.Fatal("link should be at the bottom")
+	}
+	if c.Stats().Rejected == 0 {
+		t.Error("rejections at bottom level not counted")
+	}
+}
+
+// TestLuClamped: busy cycles exceeding the window (possible with fractional
+// carry-over) must clamp Lu to 1 rather than corrupt the average.
+func TestLuClamped(t *testing.T) {
+	src := &fakeSource{cap: 16}
+	c, _ := newTestController(t, cfgN1(), src)
+	src.busy = 2 * float64(c.Window())
+	if d := c.Tick(c.Window()); d != StepUp {
+		t.Errorf("over-unity Lu: %v, want StepUp", d)
+	}
+}
+
+// TestLaserControllerPdec: a modulator link held at a low rate for a full
+// epoch gets its optical power halved.
+func TestLaserControllerPdec(t *testing.T) {
+	opt := powerlink.PaperOpticalLevels(100e-6)
+	link := powerlink.MustNew(powerlink.Config{
+		Scheme:     linkmodel.SchemeModulator,
+		Params:     linkmodel.DefaultParams(),
+		LevelRates: powerlink.Levels(5, 10, 6),
+		Tbr:        20,
+		Tv:         100,
+		Optical:    &opt,
+	})
+	cfg := cfgN1()
+	cfg.LaserEpoch = sim.CyclesFromMicros(200)
+	src := &fakeSource{cap: 16}
+	c, err := NewController(cfg, link, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Cycle(0)
+	// Idle: the link walks down to 5 Gb/s, then the laser epoch sees a
+	// whole 200 µs at a rate Pmid supports → Pdec.
+	for i := 0; i < 300; i++ { // 300 windows = 300k cycles > 2 epochs
+		now += c.Window()
+		c.Tick(now)
+	}
+	if link.OpticalLevel(now) == 2 {
+		t.Error("optical level never lowered despite idle epochs")
+	}
+	if c.Stats().PdecCount == 0 {
+		t.Error("PdecCount not incremented")
+	}
+}
+
+// TestLaserControllerHoldsWhenBusy: a link that needs Phigh all epoch must
+// keep its light.
+func TestLaserControllerHoldsWhenBusy(t *testing.T) {
+	opt := powerlink.PaperOpticalLevels(100e-6)
+	link := powerlink.MustNew(powerlink.Config{
+		Scheme:     linkmodel.SchemeModulator,
+		Params:     linkmodel.DefaultParams(),
+		LevelRates: powerlink.Levels(5, 10, 6),
+		Tbr:        20,
+		Tv:         100,
+		Optical:    &opt,
+	})
+	cfg := cfgN1()
+	cfg.LaserEpoch = sim.CyclesFromMicros(200)
+	src := &fakeSource{cap: 16}
+	c, err := NewController(cfg, link, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Cycle(0)
+	for i := 0; i < 300; i++ {
+		src.addWindow(0.9, 0.1, c.Window(), 16) // saturated: stays at 10 Gb/s
+		now += c.Window()
+		c.Tick(now)
+	}
+	if link.OpticalLevel(now) != 2 {
+		t.Errorf("optical level %d for a saturated link, want 2 (Phigh)", link.OpticalLevel(now))
+	}
+	if c.Stats().PdecCount != 0 {
+		t.Errorf("Pdec issued %d times for a saturated link", c.Stats().PdecCount)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Hold.String() != "hold" || StepUp.String() != "up" || StepDown.String() != "down" {
+		t.Error("Decision.String mismatch")
+	}
+}
+
+// TestEjectionLinkNoBuffer: BufferCapacity 0 means Bu = 0 (uncongested
+// thresholds) and must not divide by zero.
+func TestEjectionLinkNoBuffer(t *testing.T) {
+	src := &fakeSource{cap: 0}
+	c, _ := newTestController(t, cfgN1(), src)
+	src.busy = 0.65 * float64(c.Window())
+	if d := c.Tick(c.Window()); d != StepUp {
+		t.Errorf("sink-terminated link with Lu=0.65: %v, want StepUp (uncongested)", d)
+	}
+}

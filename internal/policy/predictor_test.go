@@ -1,0 +1,85 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func ewmaCfg(alpha float64) Config {
+	c := PaperConfig()
+	c.Predictor = PredictEWMA
+	c.EWMAAlpha = alpha
+	return c
+}
+
+func TestEWMAValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		if err := ewmaCfg(alpha).Validate(); err == nil {
+			t.Errorf("alpha %g accepted", alpha)
+		}
+	}
+	if err := ewmaCfg(0.5).Validate(); err != nil {
+		t.Errorf("alpha 0.5 rejected: %v", err)
+	}
+}
+
+// TestEWMAFirstWindowSeeds: the first observation seeds the average, so a
+// controller that starts busy reacts immediately.
+func TestEWMAFirstWindowSeeds(t *testing.T) {
+	src := &fakeSource{cap: 16}
+	c, _ := newTestController(t, ewmaCfg(0.1), src)
+	src.addWindow(0.9, 0.1, c.Window(), 16)
+	if d := c.Tick(c.Window()); d != StepUp {
+		t.Errorf("first busy window with EWMA: %v, want StepUp", d)
+	}
+}
+
+// TestEWMAReactsFasterThanDeepSlidingMean: after a long idle history, a
+// sustained burst crosses TH sooner with alpha=0.7 EWMA than with the N=8
+// sliding mean.
+func TestEWMAReactsFasterThanDeepSlidingMean(t *testing.T) {
+	windowsToReact := func(cfg Config) int {
+		src := &fakeSource{cap: 16}
+		c, _ := newTestController(t, cfg, src)
+		now := sim.Cycle(0)
+		// Idle history.
+		for i := 0; i < 10; i++ {
+			now += c.Window()
+			c.Tick(now)
+		}
+		// Burst.
+		for i := 1; i <= 20; i++ {
+			src.addWindow(1.0, 0.1, c.Window(), 16)
+			now += c.Window()
+			if c.Tick(now) == StepUp {
+				return i
+			}
+		}
+		return 99
+	}
+	slide := PaperConfig()
+	slide.SlidingN = 8
+	fast := ewmaCfg(0.7)
+	sN := windowsToReact(slide)
+	sE := windowsToReact(fast)
+	if sE >= sN {
+		t.Errorf("EWMA reacted in %d windows, sliding N=8 in %d — EWMA should be faster", sE, sN)
+	}
+}
+
+// TestEWMAConvergesToSteadyValue: constant utilisation drives the EWMA to
+// that value regardless of alpha.
+func TestEWMAConvergesToSteadyValue(t *testing.T) {
+	src := &fakeSource{cap: 16}
+	c, link := newTestController(t, ewmaCfg(0.25), src)
+	now := sim.Cycle(0)
+	for i := 0; i < 40; i++ {
+		src.addWindow(0.5, 0.1, c.Window(), 16) // in the hold band
+		now += c.Window()
+		c.Tick(now)
+	}
+	if got := link.Level(now); got != 5 {
+		t.Errorf("level %d after steady in-band utilisation, want unchanged 5", got)
+	}
+}

@@ -1,0 +1,43 @@
+package powerlink
+
+import (
+	"testing"
+
+	"repro/internal/linkmodel"
+	"repro/internal/sim"
+)
+
+func BenchmarkSteadyPowerQuery(b *testing.B) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.PowerW(sim.Cycle(i))
+	}
+}
+
+func BenchmarkTransitionCycle(b *testing.B) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	now := sim.Cycle(0)
+	dir := -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !l.RequestStep(now, dir) {
+			dir = -dir
+		}
+		now += 200
+	}
+	b.StopTimer()
+	if l.Stats(now).Transitions == 0 {
+		b.Fatal("no transitions executed")
+	}
+}
+
+func BenchmarkEnergyAccounting(b *testing.B) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	now := sim.Cycle(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 1000
+		l.EnergyJ(now)
+	}
+}

@@ -1,0 +1,39 @@
+package powerlink_test
+
+import (
+	"fmt"
+
+	"repro/internal/linkmodel"
+	"repro/internal/powerlink"
+)
+
+// Walk a VCSEL link down one bit-rate level and observe the transition
+// sequencing: the frequency switch disables the link for Tbr cycles, then
+// the voltage ramps down while the link already runs at the new rate.
+func Example() {
+	link, err := powerlink.New(powerlink.Config{
+		Scheme:     linkmodel.SchemeVCSEL,
+		Params:     linkmodel.DefaultParams(),
+		LevelRates: powerlink.Levels(5, 10, 6),
+		Tbr:        20,
+		Tv:         100,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("start: %g Gb/s, %.0f mW\n", link.BitRateGbps(0), link.PowerW(0)*1e3)
+	link.RequestStep(100, -1)
+	fmt.Printf("during CDR relock: %g Gb/s\n", link.BitRateGbps(110))
+	fmt.Printf("after relock: %g Gb/s\n", link.BitRateGbps(120))
+	fmt.Printf("settled: %g Gb/s, %.0f mW\n", link.BitRateGbps(500), link.PowerW(500)*1e3)
+	// Output:
+	// start: 10 Gb/s, 290 mW
+	// during CDR relock: 0 Gb/s
+	// after relock: 9 Gb/s
+	// settled: 9 Gb/s, 225 mW
+}
+
+func ExampleLevels() {
+	fmt.Println(powerlink.Levels(5, 10, 6))
+	// Output: [5 6 7 8 9 10]
+}

@@ -1,0 +1,547 @@
+// Package powerlink implements the power-aware opto-electronic link state
+// machine of Sections 2.3 and 3.2 of the paper: a link that operates at one
+// of several discrete bit-rate levels, with supply voltage scaled alongside
+// bit rate, and — for modulator-based links — an optical power level set by
+// external attenuators.
+//
+// Transition sequencing follows the paper exactly:
+//
+//   - Rate increases: the supply voltage is pulled up first (the link keeps
+//     operating during the slow Tv ramp), then the frequency switches, which
+//     disables the link for Tbr cycles while the receiver's CDR relocks.
+//   - Rate decreases: the frequency drops first (Tbr disable), then the
+//     voltage ramps down while the link operates.
+//   - Optical increases (modulator scheme, multiple optical levels): the
+//     attenuator transition (~100 µs) must complete before the electrical
+//     bit rate may rise above what the current light level supports; the
+//     electrical rate and voltage remain constant until then.
+//
+// Energy is integrated piecewise: power only changes at phase boundaries,
+// so accounting costs O(transitions), not O(cycles).
+package powerlink
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linkmodel"
+	"repro/internal/sim"
+)
+
+// Levels returns n bit-rate levels evenly spaced over [minGbps, maxGbps],
+// ascending. The paper uses 6 levels; its two ranges are 5-10 Gb/s and
+// 3.3-10 Gb/s.
+func Levels(minGbps, maxGbps float64, n int) []float64 {
+	if n < 2 || minGbps >= maxGbps {
+		panic(fmt.Sprintf("powerlink: invalid level spec [%g,%g] n=%d", minGbps, maxGbps, n))
+	}
+	out := make([]float64, n)
+	step := (maxGbps - minGbps) / float64(n-1)
+	for i := range out {
+		out[i] = minGbps + float64(i)*step
+	}
+	out[n-1] = maxGbps // avoid FP residue at the anchor point
+	return out
+}
+
+// OpticalConfig describes the discrete optical power levels available to a
+// modulator-based link (Section 3.2.2). Level i delivers PowersW[i] watts
+// to the modulator and supports electrical bit rates up to MaxRateGbps[i].
+// Both slices are ascending and the last MaxRateGbps must cover the link's
+// top electrical level.
+type OpticalConfig struct {
+	PowersW          []float64
+	MaxRateGbps      []float64
+	TransitionCycles sim.Cycle // attenuator response, paper: 100 µs
+}
+
+// PaperOpticalLevels returns the paper's three optical levels bound to
+// bit-rate bands: Plow (<4 Gb/s) = 0.5·Pmid, Pmid (4-6 Gb/s) = 0.5·Phigh,
+// Phigh (6-10 Gb/s) = the full per-link optical power phighW.
+func PaperOpticalLevels(phighW float64) OpticalConfig {
+	return OpticalConfig{
+		PowersW:          []float64{phighW / 4, phighW / 2, phighW},
+		MaxRateGbps:      []float64{4, 6, math.Inf(1)},
+		TransitionCycles: sim.CyclesFromMicros(100),
+	}
+}
+
+// RequiredLevel returns the lowest optical level index whose light supports
+// the given electrical bit rate.
+func (o *OpticalConfig) RequiredLevel(rateGbps float64) int {
+	for i, max := range o.MaxRateGbps {
+		if rateGbps <= max {
+			return i
+		}
+	}
+	return len(o.MaxRateGbps) - 1
+}
+
+// Config parameterises one power-aware link.
+type Config struct {
+	// Scheme selects VCSEL or modulator transmitter.
+	Scheme linkmodel.Scheme
+	// Params is the circuit model (linkmodel.DefaultParams for the paper).
+	Params linkmodel.Params
+	// LevelRates are the bit-rate levels in Gb/s, ascending. A
+	// non-power-aware link passes exactly one level.
+	LevelRates []float64
+	// Tbr is the bit-rate transition delay: the link is disabled this many
+	// cycles after every frequency change while the CDR relocks (paper: 20).
+	Tbr sim.Cycle
+	// Tv is the supply-voltage transition time (paper: 100 cycles). The
+	// link operates during voltage ramps.
+	Tv sim.Cycle
+	// Optical, when non-nil, enables multiple optical power levels for a
+	// modulator-based link. Ignored for the VCSEL scheme, whose optical
+	// output follows the driver supply automatically.
+	Optical *OpticalConfig
+	// OffEnabled permits an extra "off" level below level 0 in which the
+	// link consumes only OffPowerW; waking costs OffWakeCycles of disable.
+	// This models the on/off networks of Soteriou & Peh [26] for the
+	// ablation benches; the paper's own design never switches links off.
+	OffEnabled    bool
+	OffPowerW     float64
+	OffWakeCycles sim.Cycle
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if len(c.LevelRates) == 0 {
+		return fmt.Errorf("powerlink: no bit-rate levels")
+	}
+	for i := 1; i < len(c.LevelRates); i++ {
+		if c.LevelRates[i] <= c.LevelRates[i-1] {
+			return fmt.Errorf("powerlink: level rates not ascending at %d: %v", i, c.LevelRates)
+		}
+	}
+	if c.LevelRates[0] <= 0 {
+		return fmt.Errorf("powerlink: non-positive bit rate %g", c.LevelRates[0])
+	}
+	if c.Tbr < 0 || c.Tv < 0 {
+		return fmt.Errorf("powerlink: negative transition delay (Tbr=%d Tv=%d)", c.Tbr, c.Tv)
+	}
+	if c.Optical != nil {
+		o := c.Optical
+		if len(o.PowersW) == 0 || len(o.PowersW) != len(o.MaxRateGbps) {
+			return fmt.Errorf("powerlink: optical levels malformed")
+		}
+		top := c.LevelRates[len(c.LevelRates)-1]
+		if o.MaxRateGbps[len(o.MaxRateGbps)-1] < top {
+			return fmt.Errorf("powerlink: top optical level supports %g Gb/s < max electrical %g",
+				o.MaxRateGbps[len(o.MaxRateGbps)-1], top)
+		}
+		// Physical feasibility: each optical level must leave enough light
+		// at the receiver for the fastest bit rate it claims to support
+		// (capped at the link's own top rate).
+		for i, pw := range o.PowersW {
+			rate := math.Min(o.MaxRateGbps[i], top)
+			if !c.Params.OpticalLevelFeasible(pw, rate) {
+				return fmt.Errorf("powerlink: optical level %d (%.1f µW) cannot meet the receiver sensitivity at %.3g Gb/s",
+					i, pw*1e6, rate)
+			}
+		}
+	}
+	return c.Params.Validate()
+}
+
+// phase is the link state-machine phase.
+type phase int
+
+const (
+	phaseSteady phase = iota
+	// phaseVoltUp: ramping voltage up before a frequency increase. Link
+	// operates at the old bit rate; power billed at the higher voltage.
+	phaseVoltUp
+	// phaseFreqSwitch: frequency changing; link disabled for Tbr.
+	phaseFreqSwitch
+	// phaseVoltDown: ramping voltage down after a frequency decrease. Link
+	// operates at the new bit rate; power billed at the old voltage.
+	phaseVoltDown
+	// phaseWaitOptical: waiting for the external attenuator to raise the
+	// optical level before an electrical increase may begin. Link operates
+	// at the old bit rate.
+	phaseWaitOptical
+	// phaseOff: link switched off (ablation mode only).
+	phaseOff
+	// phaseWake: waking from off; link disabled.
+	phaseWake
+)
+
+// OffLevel is the Level value reported while the link is switched off
+// (on/off ablation mode only).
+const OffLevel = -1
+
+const offLevel = OffLevel
+
+// Link is one power-aware unidirectional opto-electronic link.
+//
+// All methods take the current simulation time and lazily advance the
+// internal state machine; callers must present non-decreasing times.
+type Link struct {
+	cfg Config
+
+	level    int // current electrical level (index into LevelRates), or offLevel
+	target   int // level being transitioned to (== level when steady)
+	phase    phase
+	phaseEnd sim.Cycle
+
+	opticalLevel int // current optical level index (modulator multi-level)
+
+	// Piecewise energy accounting.
+	powerW   float64
+	energyJ  float64
+	lastTime sim.Cycle
+
+	// Diagnostics.
+	timeAtLevel []sim.Cycle // per electrical level; off time tracked separately
+	timeOff     sim.Cycle
+	transitions int
+	lastLevelT  sim.Cycle
+	disabledFor sim.Cycle // total cycles spent with the link disabled
+}
+
+// New returns a link in steady state at the highest level with full optical
+// power, as at system start-up.
+func New(cfg Config) (*Link, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Link{
+		cfg:         cfg,
+		level:       len(cfg.LevelRates) - 1,
+		target:      len(cfg.LevelRates) - 1,
+		phase:       phaseSteady,
+		timeAtLevel: make([]sim.Cycle, len(cfg.LevelRates)),
+	}
+	if cfg.Optical != nil {
+		l.opticalLevel = len(cfg.Optical.PowersW) - 1
+	}
+	l.powerW = l.steadyPower(l.level)
+	return l, nil
+}
+
+// MustNew is New but panics on configuration error; for tests and tables.
+func MustNew(cfg Config) *Link {
+	l, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// NumLevels returns the number of electrical bit-rate levels.
+func (l *Link) NumLevels() int { return len(l.cfg.LevelRates) }
+
+// LevelRate returns the bit rate (Gb/s) of electrical level i.
+func (l *Link) LevelRate(i int) float64 { return l.cfg.LevelRates[i] }
+
+// opticalPowerW returns the optical power currently delivered to the
+// modulator (modulator scheme only; full power otherwise).
+func (l *Link) opticalPowerW() float64 {
+	if l.cfg.Scheme == linkmodel.SchemeModulator && l.cfg.Optical != nil {
+		return l.cfg.Optical.PowersW[l.opticalLevel]
+	}
+	return l.cfg.Params.ModInputOpticalW
+}
+
+// steadyPower returns the link's electrical power (W) in steady state at
+// the given level.
+func (l *Link) steadyPower(level int) float64 {
+	if level == offLevel {
+		return l.cfg.OffPowerW
+	}
+	br := l.cfg.LevelRates[level]
+	vdd := l.cfg.Params.VddAt(br)
+	return l.cfg.Params.LinkPower(l.cfg.Scheme, br, vdd, l.opticalPowerW())
+}
+
+// transitionPower returns the power billed during a transition between two
+// levels: conservatively, the higher of the two steady powers (during a
+// voltage ramp the circuits see the higher voltage; during a frequency
+// switch the CDR and TIA remain biased).
+func (l *Link) transitionPower(a, b int) float64 {
+	return math.Max(l.steadyPower(a), l.steadyPower(b))
+}
+
+// accrue integrates energy up to time t at the current power.
+func (l *Link) accrue(t sim.Cycle) {
+	if t < l.lastTime {
+		panic(fmt.Sprintf("powerlink: time went backwards: %d < %d", t, l.lastTime))
+	}
+	dt := t - l.lastTime
+	if dt == 0 {
+		return
+	}
+	l.energyJ += l.powerW * sim.Cycle(dt).Seconds()
+	if l.phase == phaseFreqSwitch || l.phase == phaseWake {
+		l.disabledFor += dt
+	}
+	if l.level == offLevel {
+		l.timeOff += dt
+	} else {
+		l.timeAtLevel[l.level] += dt
+	}
+	l.lastTime = t
+}
+
+// setPhase moves to a new phase ending at end, re-deriving billed power.
+func (l *Link) setPhase(p phase, end sim.Cycle) {
+	l.phase = p
+	l.phaseEnd = end
+	switch p {
+	case phaseSteady, phaseOff:
+		l.powerW = l.steadyPower(l.level)
+	case phaseWaitOptical:
+		l.powerW = l.steadyPower(l.level)
+	case phaseVoltUp, phaseVoltDown, phaseFreqSwitch, phaseWake:
+		l.powerW = l.transitionPower(l.level, l.target)
+	}
+}
+
+// advance processes all phase completions at or before now.
+func (l *Link) advance(now sim.Cycle) {
+	for l.phase != phaseSteady && l.phase != phaseOff && now >= l.phaseEnd {
+		end := l.phaseEnd
+		l.accrue(end)
+		switch l.phase {
+		case phaseWaitOptical:
+			// Attenuator has finished raising the light level; begin the
+			// electrical sequence: voltage first, then frequency.
+			if l.cfg.Optical != nil {
+				l.opticalLevel = l.cfg.Optical.RequiredLevel(l.cfg.LevelRates[l.target])
+			}
+			l.setPhase(phaseVoltUp, end+l.cfg.Tv)
+		case phaseVoltUp:
+			l.setPhase(phaseFreqSwitch, end+l.cfg.Tbr)
+		case phaseFreqSwitch:
+			old := l.level
+			decrease := l.target < l.level
+			l.level = l.target
+			l.transitions++
+			if decrease {
+				l.setPhase(phaseVoltDown, end+l.cfg.Tv)
+				// The voltage is still at the old (higher) level while it
+				// ramps down; bill the old level's power for the ramp.
+				l.powerW = l.transitionPower(old, l.level)
+			} else {
+				l.setPhase(phaseSteady, 0)
+			}
+		case phaseVoltDown:
+			l.setPhase(phaseSteady, 0)
+		case phaseWake:
+			l.level = l.target
+			l.transitions++
+			l.setPhase(phaseSteady, 0)
+		}
+	}
+	l.accrue(now)
+}
+
+// Level returns the current electrical level index, or -1 when the link is
+// off (ablation mode).
+func (l *Link) Level(now sim.Cycle) int {
+	l.advance(now)
+	return l.level
+}
+
+// TargetLevel returns the level the link is transitioning toward (equal to
+// Level when steady).
+func (l *Link) TargetLevel(now sim.Cycle) int {
+	l.advance(now)
+	return l.target
+}
+
+// Transitioning reports whether a level transition is in progress.
+func (l *Link) Transitioning(now sim.Cycle) bool {
+	l.advance(now)
+	return l.phase != phaseSteady && l.phase != phaseOff
+}
+
+// BitRateGbps returns the current usable bit rate: 0 while the link is
+// disabled (frequency switch, wake) or off, the operating rate otherwise.
+// During a voltage ramp the link keeps its pre-switch rate (increase) or
+// already runs at the new rate (decrease), exactly as in Section 3.2.1.
+func (l *Link) BitRateGbps(now sim.Cycle) float64 {
+	l.advance(now)
+	switch l.phase {
+	case phaseFreqSwitch, phaseWake:
+		return 0
+	case phaseOff:
+		return 0
+	default:
+		if l.level == offLevel {
+			return 0
+		}
+		return l.cfg.LevelRates[l.level]
+	}
+}
+
+// AvailableAt returns the earliest cycle at or after now when the link can
+// transmit (bit rate > 0). While the link is off (ablation mode) it returns
+// now + OffWakeCycles as an estimate assuming an immediate wake request;
+// callers that observe an off link should issue RequestStep(now, +1) first.
+func (l *Link) AvailableAt(now sim.Cycle) sim.Cycle {
+	l.advance(now)
+	switch l.phase {
+	case phaseFreqSwitch, phaseWake:
+		return l.phaseEnd
+	case phaseOff:
+		return now + l.cfg.OffWakeCycles
+	default:
+		return now
+	}
+}
+
+// PowerW returns the link's current electrical power draw.
+func (l *Link) PowerW(now sim.Cycle) float64 {
+	l.advance(now)
+	return l.powerW
+}
+
+// EnergyJ returns the total energy consumed up to now, in joules.
+func (l *Link) EnergyJ(now sim.Cycle) float64 {
+	l.advance(now)
+	return l.energyJ
+}
+
+// RequestStep asks the link to move one level up (dir > 0) or down
+// (dir < 0). It returns false when the request cannot start: already at the
+// extreme level, or a transition is still in progress (the policy simply
+// retries at its next window). A step up from "off" wakes the link.
+func (l *Link) RequestStep(now sim.Cycle, dir int) bool {
+	l.advance(now)
+	if l.phase != phaseSteady && l.phase != phaseOff {
+		return false
+	}
+	switch {
+	case dir > 0:
+		return l.requestUp(now)
+	case dir < 0:
+		return l.requestDown(now)
+	default:
+		return false
+	}
+}
+
+func (l *Link) requestUp(now sim.Cycle) bool {
+	if l.level == offLevel {
+		l.target = 0
+		l.setPhase(phaseWake, now+l.cfg.OffWakeCycles)
+		return true
+	}
+	if l.level >= len(l.cfg.LevelRates)-1 {
+		return false
+	}
+	l.target = l.level + 1
+	// If the new rate needs more light than the attenuator currently
+	// passes, the optical transition gates the electrical one: send Pinc
+	// and hold rate/voltage until the light arrives (Section 3.3).
+	if l.cfg.Scheme == linkmodel.SchemeModulator && l.cfg.Optical != nil {
+		need := l.cfg.Optical.RequiredLevel(l.cfg.LevelRates[l.target])
+		if need > l.opticalLevel {
+			l.setPhase(phaseWaitOptical, now+l.cfg.Optical.TransitionCycles)
+			return true
+		}
+	}
+	l.setPhase(phaseVoltUp, now+l.cfg.Tv)
+	return true
+}
+
+func (l *Link) requestDown(now sim.Cycle) bool {
+	if l.level == offLevel {
+		return false
+	}
+	if l.level == 0 {
+		if !l.cfg.OffEnabled {
+			return false
+		}
+		l.accrue(now)
+		l.level = offLevel
+		l.target = offLevel
+		l.transitions++
+		l.setPhase(phaseOff, 0)
+		return true
+	}
+	l.target = l.level - 1
+	l.setPhase(phaseFreqSwitch, now+l.cfg.Tbr)
+	return true
+}
+
+// LowerOptical drops the optical level by one step (the external laser
+// source controller's Pdec, which halves the light). It refuses when the
+// current electrical rate needs the present light level, or when the link
+// is mid-transition. The attenuator change is modelled as immediate for
+// decreases: less light is always safe, and the paper's latency penalty
+// applies only to increases, which gate the electrical rate.
+func (l *Link) LowerOptical(now sim.Cycle) bool {
+	l.advance(now)
+	if l.cfg.Scheme != linkmodel.SchemeModulator || l.cfg.Optical == nil {
+		return false
+	}
+	if l.phase != phaseSteady || l.opticalLevel == 0 || l.level == offLevel {
+		return false
+	}
+	need := l.cfg.Optical.RequiredLevel(l.cfg.LevelRates[l.level])
+	if need >= l.opticalLevel {
+		return false
+	}
+	l.accrue(now)
+	l.opticalLevel--
+	l.setPhase(phaseSteady, 0) // re-derive power with the new light level
+	return true
+}
+
+// CouldUseLowerOptical reports whether the link's current electrical bit
+// rate (or the rate it is transitioning toward, if higher) would function
+// on an optical level below the present one. The external laser source
+// controller samples this over its 200 µs epoch to decide on Pdec.
+func (l *Link) CouldUseLowerOptical(now sim.Cycle) bool {
+	l.advance(now)
+	if l.cfg.Scheme != linkmodel.SchemeModulator || l.cfg.Optical == nil {
+		return false
+	}
+	if l.opticalLevel == 0 || l.level == offLevel {
+		return false
+	}
+	lvl := l.level
+	if l.target > lvl {
+		lvl = l.target
+	}
+	return l.cfg.Optical.RequiredLevel(l.cfg.LevelRates[lvl]) < l.opticalLevel
+}
+
+// OpticalLevel returns the current optical level index (0 for links without
+// multiple optical levels).
+func (l *Link) OpticalLevel(now sim.Cycle) int {
+	l.advance(now)
+	if l.cfg.Optical == nil {
+		return 0
+	}
+	return l.opticalLevel
+}
+
+// Stats is a snapshot of the link's lifetime counters.
+type Stats struct {
+	EnergyJ       float64
+	Transitions   int
+	DisabledFor   sim.Cycle
+	TimeAtLevel   []sim.Cycle
+	TimeOff       sim.Cycle
+	CurrentPowerW float64
+}
+
+// Stats returns lifetime counters up to now.
+func (l *Link) Stats(now sim.Cycle) Stats {
+	l.advance(now)
+	tal := make([]sim.Cycle, len(l.timeAtLevel))
+	copy(tal, l.timeAtLevel)
+	return Stats{
+		EnergyJ:       l.energyJ,
+		Transitions:   l.transitions,
+		DisabledFor:   l.disabledFor,
+		TimeAtLevel:   tal,
+		TimeOff:       l.timeOff,
+		CurrentPowerW: l.powerW,
+	}
+}

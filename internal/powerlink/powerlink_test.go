@@ -1,0 +1,557 @@
+package powerlink
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linkmodel"
+	"repro/internal/sim"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func paperCfg(scheme linkmodel.Scheme) Config {
+	return Config{
+		Scheme:     scheme,
+		Params:     linkmodel.DefaultParams(),
+		LevelRates: Levels(5, 10, 6),
+		Tbr:        20,
+		Tv:         100,
+	}
+}
+
+func TestLevelsSpacing(t *testing.T) {
+	l := Levels(5, 10, 6)
+	want := []float64{5, 6, 7, 8, 9, 10}
+	for i := range want {
+		if !approx(l[i], want[i], 1e-9) {
+			t.Errorf("Levels(5,10,6)[%d] = %g, want %g", i, l[i], want[i])
+		}
+	}
+	l2 := Levels(3.3, 10, 6)
+	if !approx(l2[0], 3.3, 1e-9) || l2[5] != 10 {
+		t.Errorf("Levels(3.3,10,6) endpoints wrong: %v", l2)
+	}
+}
+
+func TestLevelsPanicsOnBadSpec(t *testing.T) {
+	for _, f := range []func(){
+		func() { Levels(10, 5, 6) },
+		func() { Levels(5, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Levels spec did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewStartsAtTopLevel(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	if got := l.Level(0); got != 5 {
+		t.Errorf("initial level %d, want 5 (top)", got)
+	}
+	if got := l.BitRateGbps(0); got != 10 {
+		t.Errorf("initial rate %g, want 10", got)
+	}
+	if p := l.PowerW(0); !approx(p*1e3, 290, 2) {
+		t.Errorf("initial power %.2f mW, want ≈290", p*1e3)
+	}
+}
+
+func TestStepUpAtTopRejected(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	if l.RequestStep(0, +1) {
+		t.Error("step up from top level accepted")
+	}
+}
+
+func TestStepDownAtBottomRejected(t *testing.T) {
+	cfg := paperCfg(linkmodel.SchemeVCSEL)
+	cfg.LevelRates = []float64{5}
+	l := MustNew(cfg)
+	if l.RequestStep(0, -1) {
+		t.Error("step down from only level accepted")
+	}
+}
+
+func TestZeroDirRejected(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	if l.RequestStep(0, 0) {
+		t.Error("dir=0 accepted")
+	}
+}
+
+// TestDecreaseSequencing: frequency drops first (link disabled for Tbr),
+// then the link operates at the NEW rate while voltage ramps down.
+func TestDecreaseSequencing(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	if !l.RequestStep(1000, -1) {
+		t.Fatal("step down rejected")
+	}
+	// During the frequency switch the link is disabled.
+	if br := l.BitRateGbps(1000); br != 0 {
+		t.Errorf("rate during freq switch = %g, want 0", br)
+	}
+	if br := l.BitRateGbps(1019); br != 0 {
+		t.Errorf("rate at Tbr-1 = %g, want 0", br)
+	}
+	// After Tbr=20: new (lower) rate immediately, voltage still ramping.
+	if br := l.BitRateGbps(1020); br != 9 {
+		t.Errorf("rate after freq switch = %g, want 9", br)
+	}
+	if !l.Transitioning(1050) {
+		t.Error("should still be in voltage ramp at 1050")
+	}
+	// During the down-ramp power is billed at the old (higher) level.
+	pOld := MustNew(paperCfg(linkmodel.SchemeVCSEL)).PowerW(0)
+	if p := l.PowerW(1060); !approx(p, pOld, 1e-6) {
+		t.Errorf("power during volt-down ramp %.2f mW, want old-level %.2f mW", p*1e3, pOld*1e3)
+	}
+	// After Tbr+Tv the link is steady at the lower power.
+	if l.Transitioning(1120) {
+		t.Error("still transitioning after Tbr+Tv")
+	}
+	want := l.Stats(1120).CurrentPowerW
+	params := linkmodel.DefaultParams()
+	exp := params.LinkPowerAt(linkmodel.SchemeVCSEL, 9)
+	if !approx(want, exp, 1e-6) {
+		t.Errorf("steady power at 9 Gb/s = %.3f mW, want %.3f", want*1e3, exp*1e3)
+	}
+}
+
+// TestIncreaseSequencing: voltage is pulled up first (link still operating
+// at the old rate), then the frequency switch disables the link for Tbr.
+func TestIncreaseSequencing(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	l.RequestStep(0, -1) // 10→9
+	if l.Level(200) != 4 {
+		t.Fatal("setup: expected level 4")
+	}
+	if !l.RequestStep(1000, +1) {
+		t.Fatal("step up rejected")
+	}
+	// During the voltage ramp the link still operates at the old rate.
+	for _, c := range []sim.Cycle{1000, 1050, 1099} {
+		if br := l.BitRateGbps(c); br != 9 {
+			t.Errorf("rate during volt-up at %d = %g, want 9 (old)", c, br)
+		}
+	}
+	// Then the frequency switch disables the link for Tbr.
+	for _, c := range []sim.Cycle{1100, 1119} {
+		if br := l.BitRateGbps(c); br != 0 {
+			t.Errorf("rate during freq switch at %d = %g, want 0", c, br)
+		}
+	}
+	if br := l.BitRateGbps(1120); br != 10 {
+		t.Errorf("rate after transition = %g, want 10", br)
+	}
+	if l.Transitioning(1120) {
+		t.Error("still transitioning after Tv+Tbr")
+	}
+}
+
+func TestRequestDuringTransitionRejected(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	l.RequestStep(0, -1)
+	if l.RequestStep(10, -1) {
+		t.Error("request accepted mid-transition")
+	}
+	if l.RequestStep(50, +1) {
+		t.Error("up request accepted mid-transition (volt ramp)")
+	}
+	// After the transition completes requests are accepted again.
+	if !l.RequestStep(200, -1) {
+		t.Error("request rejected after transition completed")
+	}
+}
+
+// TestEnergyNonPowerAware: a single-level link's energy is exactly P·t.
+func TestEnergyNonPowerAware(t *testing.T) {
+	cfg := paperCfg(linkmodel.SchemeVCSEL)
+	cfg.LevelRates = []float64{10}
+	l := MustNew(cfg)
+	p := l.PowerW(0)
+	const cycles = 1_000_000
+	got := l.EnergyJ(cycles)
+	want := p * sim.Cycle(cycles).Seconds()
+	if !approx(got, want, want*1e-9) {
+		t.Errorf("energy = %g J, want %g", got, want)
+	}
+}
+
+// TestEnergyPiecewise: energy across a down transition equals the sum of
+// hand-computed segments.
+func TestEnergyPiecewise(t *testing.T) {
+	params := linkmodel.DefaultParams()
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	p10 := params.LinkPowerAt(linkmodel.SchemeVCSEL, 10)
+	p9 := params.LinkPowerAt(linkmodel.SchemeVCSEL, 9)
+
+	l.RequestStep(1000, -1)
+	total := l.EnergyJ(2000)
+	// Segments: [0,1000) at p10; [1000,1020) freq switch billed max(p10,p9)=p10;
+	// [1020,1120) volt-down ramp billed p10; [1120,2000) steady p9.
+	sec := func(c sim.Cycle) float64 { return c.Seconds() }
+	want := p10*sec(1000) + p10*sec(20) + p10*sec(100) + p9*sec(880)
+	if !approx(total, want, want*1e-9) {
+		t.Errorf("energy = %.6g J, want %.6g", total, want)
+	}
+}
+
+// TestEnergyMonotone: energy never decreases in time.
+func TestEnergyMonotone(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	r := sim.NewRNG(5)
+	var now sim.Cycle
+	prev := 0.0
+	for i := 0; i < 500; i++ {
+		now += sim.Cycle(r.Intn(300))
+		if r.Bernoulli(0.3) {
+			if r.Bernoulli(0.5) {
+				l.RequestStep(now, -1)
+			} else {
+				l.RequestStep(now, +1)
+			}
+		}
+		e := l.EnergyJ(now)
+		if e < prev {
+			t.Fatalf("energy decreased: %g < %g at %d", e, prev, now)
+		}
+		prev = e
+	}
+}
+
+// TestTimeAccounting: time at levels plus off-time equals elapsed time.
+func TestTimeAccounting(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	r := sim.NewRNG(6)
+	var now sim.Cycle
+	for i := 0; i < 300; i++ {
+		now += sim.Cycle(r.Intn(500))
+		dir := +1
+		if r.Bernoulli(0.5) {
+			dir = -1
+		}
+		l.RequestStep(now, dir)
+	}
+	st := l.Stats(now)
+	var sum sim.Cycle
+	for _, v := range st.TimeAtLevel {
+		sum += v
+	}
+	sum += st.TimeOff
+	if sum != now {
+		t.Errorf("time accounted %d != elapsed %d", sum, now)
+	}
+}
+
+// TestDisabledForCounts: every completed frequency transition contributes
+// exactly Tbr disabled cycles.
+func TestDisabledForCounts(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	l.RequestStep(0, -1)    // one freq switch
+	l.RequestStep(1000, -1) // another
+	st := l.Stats(5000)
+	if st.Transitions != 2 {
+		t.Fatalf("transitions = %d, want 2", st.Transitions)
+	}
+	if st.DisabledFor != 40 {
+		t.Errorf("disabled cycles = %d, want 40 (2×Tbr)", st.DisabledFor)
+	}
+}
+
+// TestZeroTransitionDelays: with Tbr=Tv=0 (the Fig 6b ablation) the link
+// never reports a zero bit rate.
+func TestZeroTransitionDelays(t *testing.T) {
+	cfg := paperCfg(linkmodel.SchemeVCSEL)
+	cfg.Tbr, cfg.Tv = 0, 0
+	l := MustNew(cfg)
+	l.RequestStep(100, -1)
+	if br := l.BitRateGbps(100); br != 9 {
+		t.Errorf("rate right after zero-delay transition = %g, want 9", br)
+	}
+	l.RequestStep(200, +1)
+	if br := l.BitRateGbps(200); br != 10 {
+		t.Errorf("rate after zero-delay up = %g, want 10", br)
+	}
+}
+
+func modCfgWithOptical() Config {
+	cfg := paperCfg(linkmodel.SchemeModulator)
+	o := PaperOpticalLevels(linkmodel.DefaultParams().ModInputOpticalW)
+	cfg.Optical = &o
+	return cfg
+}
+
+// TestOpticalGatingOnIncrease: raising the bit rate across an optical band
+// boundary must wait ~100 µs for the attenuator before the electrical
+// transition begins (Fig. 6c's latency spike).
+func TestOpticalGatingOnIncrease(t *testing.T) {
+	cfg := modCfgWithOptical()
+	l := MustNew(cfg)
+	// Walk down to 6 Gb/s (level 1), which sits in the Pmid band boundary.
+	for now := sim.Cycle(0); l.Level(now) > 1; now += 1000 {
+		l.RequestStep(now, -1)
+	}
+	if got := l.LevelRate(l.Level(10_000)); got != 6 {
+		t.Fatalf("setup: at %g Gb/s, want 6", got)
+	}
+	// Drop the light to Pmid (6 Gb/s is within the 4-6 band).
+	if !l.LowerOptical(10_000) {
+		t.Fatal("LowerOptical rejected although rate fits lower band")
+	}
+	if l.OpticalLevel(10_000) != 1 {
+		t.Fatalf("optical level %d, want 1", l.OpticalLevel(10_000))
+	}
+	// Now an electrical increase to 7 Gb/s needs Phigh: the step must be
+	// accepted but gated on the 62500-cycle attenuator transition.
+	if !l.RequestStep(20_000, +1) {
+		t.Fatal("gated step up rejected")
+	}
+	// During the whole optical wait the link still runs at 6 Gb/s.
+	if br := l.BitRateGbps(20_000 + 62_499); br != 6 {
+		t.Errorf("rate during optical wait = %g, want 6", br)
+	}
+	// After the wait: voltage ramp (still 6), then freq switch (0), then 7.
+	afterOpt := sim.Cycle(20_000 + 62_500)
+	if br := l.BitRateGbps(afterOpt + 50); br != 6 {
+		t.Errorf("rate during post-optical volt ramp = %g, want 6", br)
+	}
+	if br := l.BitRateGbps(afterOpt + 110); br != 0 {
+		t.Errorf("rate during freq switch = %g, want 0", br)
+	}
+	if br := l.BitRateGbps(afterOpt + 120); br != 7 {
+		t.Errorf("final rate = %g, want 7", br)
+	}
+	if l.OpticalLevel(afterOpt+120) != 2 {
+		t.Errorf("optical level after gated increase = %d, want 2 (Phigh)", l.OpticalLevel(afterOpt+120))
+	}
+}
+
+// TestIncreaseWithinBandNotGated: an increase that stays within the current
+// optical band must not pay the 100 µs penalty.
+func TestIncreaseWithinBandNotGated(t *testing.T) {
+	l := MustNew(modCfgWithOptical())
+	l.RequestStep(0, -1) // 10→9, both in Phigh band
+	if l.Level(1000) != 4 {
+		t.Fatal("setup failed")
+	}
+	l.RequestStep(1000, +1)
+	// Tv+Tbr = 120 cycles, far less than 62500.
+	if br := l.BitRateGbps(1120); br != 10 {
+		t.Errorf("within-band increase took an optical wait (rate %g at +120)", br)
+	}
+}
+
+// TestLowerOpticalRefusals covers all the guards.
+func TestLowerOpticalRefusals(t *testing.T) {
+	// VCSEL links have no external attenuator.
+	v := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	if v.LowerOptical(0) {
+		t.Error("VCSEL link accepted LowerOptical")
+	}
+	// At 10 Gb/s the rate requires Phigh: refuse.
+	m := MustNew(modCfgWithOptical())
+	if m.LowerOptical(0) {
+		t.Error("LowerOptical accepted while rate needs current level")
+	}
+	// Modulator without multi-level optical config: refuse.
+	m2 := MustNew(paperCfg(linkmodel.SchemeModulator))
+	if m2.LowerOptical(0) {
+		t.Error("single-optical-level link accepted LowerOptical")
+	}
+}
+
+// TestLowerOpticalReducesPower: Pdec must reduce the link's power draw via
+// the modulator absorption term.
+func TestLowerOpticalReducesPower(t *testing.T) {
+	l := MustNew(modCfgWithOptical())
+	var now sim.Cycle
+	for l.Level(now) > 1 {
+		l.RequestStep(now, -1)
+		now += 1000
+	}
+	before := l.PowerW(now)
+	if !l.LowerOptical(now) {
+		t.Fatal("LowerOptical rejected")
+	}
+	after := l.PowerW(now)
+	if after >= before {
+		t.Errorf("power did not drop after Pdec: %.4f → %.4f mW", before*1e3, after*1e3)
+	}
+}
+
+// TestOffAblation: the on/off ablation mode switches the link off below
+// level 0 and wakes it with a delay.
+func TestOffAblation(t *testing.T) {
+	cfg := paperCfg(linkmodel.SchemeVCSEL)
+	cfg.OffEnabled = true
+	cfg.OffPowerW = 1e-3
+	cfg.OffWakeCycles = 625 // 1 µs wake
+	l := MustNew(cfg)
+	var now sim.Cycle
+	for l.Level(now) > 0 {
+		l.RequestStep(now, -1)
+		now += 1000
+	}
+	if !l.RequestStep(now, -1) {
+		t.Fatal("step to off rejected")
+	}
+	if br := l.BitRateGbps(now); br != 0 {
+		t.Errorf("rate while off = %g, want 0", br)
+	}
+	if p := l.PowerW(now); !approx(p, 1e-3, 1e-12) {
+		t.Errorf("off power = %g, want 1 mW", p)
+	}
+	if l.Level(now) != -1 {
+		t.Errorf("Level while off = %d, want -1", l.Level(now))
+	}
+	// Wake.
+	now += 10_000
+	if !l.RequestStep(now, +1) {
+		t.Fatal("wake rejected")
+	}
+	if br := l.BitRateGbps(now + 600); br != 0 {
+		t.Errorf("rate during wake = %g, want 0", br)
+	}
+	if br := l.BitRateGbps(now + 625); br != 5 {
+		t.Errorf("rate after wake = %g, want 5 (level 0)", br)
+	}
+	// Stepping down while off is rejected.
+	l2 := MustNew(cfg)
+	var n2 sim.Cycle
+	for l2.Level(n2) > 0 {
+		l2.RequestStep(n2, -1)
+		n2 += 1000
+	}
+	l2.RequestStep(n2, -1)
+	if l2.RequestStep(n2+1000, -1) {
+		t.Error("step down while off accepted")
+	}
+}
+
+func TestOffDisabledByDefault(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	var now sim.Cycle
+	for l.Level(now) > 0 {
+		l.RequestStep(now, -1)
+		now += 1000
+	}
+	if l.RequestStep(now, -1) {
+		t.Error("step below level 0 accepted without OffEnabled")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Params: linkmodel.DefaultParams()},                                                                                                          // no levels
+		{Params: linkmodel.DefaultParams(), LevelRates: []float64{5, 5}},                                                                             // not ascending
+		{Params: linkmodel.DefaultParams(), LevelRates: []float64{0, 5}},                                                                             // zero rate
+		{Params: linkmodel.DefaultParams(), LevelRates: []float64{5, 10}, Tbr: -1},                                                                   // negative delay
+		{Params: linkmodel.Params{}, LevelRates: []float64{5, 10}},                                                                                   // invalid params
+		{Params: linkmodel.DefaultParams(), LevelRates: []float64{5, 10}, Optical: &OpticalConfig{PowersW: []float64{1}, MaxRateGbps: []float64{6}}}, // optical too weak
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on invalid config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestTimeGoingBackwardsPanics(t *testing.T) {
+	l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+	l.PowerW(1000)
+	defer func() {
+		if recover() == nil {
+			t.Error("time going backwards did not panic")
+		}
+	}()
+	l.PowerW(500)
+}
+
+// TestRequiredLevelBands checks the paper's band edges.
+func TestRequiredLevelBands(t *testing.T) {
+	o := PaperOpticalLevels(100e-6)
+	cases := []struct {
+		rate float64
+		want int
+	}{
+		{3.3, 0}, {4, 0}, {4.5, 1}, {6, 1}, {6.5, 2}, {10, 2},
+	}
+	for _, c := range cases {
+		if got := o.RequiredLevel(c.rate); got != c.want {
+			t.Errorf("RequiredLevel(%g) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+}
+
+func TestPaperOpticalLevelRatios(t *testing.T) {
+	o := PaperOpticalLevels(100e-6)
+	if !approx(o.PowersW[0], 25e-6, 1e-12) || !approx(o.PowersW[1], 50e-6, 1e-12) || !approx(o.PowersW[2], 100e-6, 1e-12) {
+		t.Errorf("optical powers %v, want Plow=0.5·Pmid=0.25·Phigh", o.PowersW)
+	}
+	if o.TransitionCycles != 62500 {
+		t.Errorf("optical transition = %d cycles, want 62500 (100µs)", o.TransitionCycles)
+	}
+}
+
+// TestPowerBoundedByLevels (property): at any time, the link's power lies
+// within [steady power of lowest level, steady power of highest level].
+func TestPowerBoundedByLevels(t *testing.T) {
+	params := linkmodel.DefaultParams()
+	lo := params.LinkPowerAt(linkmodel.SchemeVCSEL, 5)
+	hi := params.LinkPowerAt(linkmodel.SchemeVCSEL, 10)
+	f := func(seed uint64) bool {
+		l := MustNew(paperCfg(linkmodel.SchemeVCSEL))
+		r := sim.NewRNG(seed)
+		var now sim.Cycle
+		for i := 0; i < 100; i++ {
+			now += sim.Cycle(r.Intn(400))
+			dir := +1
+			if r.Bernoulli(0.5) {
+				dir = -1
+			}
+			l.RequestStep(now, dir)
+			p := l.PowerW(now)
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidateRejectsStarvedOpticalLevel: an optical ladder whose light
+// cannot meet the receiver sensitivity for its band must be rejected.
+func TestValidateRejectsStarvedOpticalLevel(t *testing.T) {
+	cfg := paperCfg(linkmodel.SchemeModulator)
+	opt := PaperOpticalLevels(4e-6) // 1/25th of the paper's light
+	cfg.Optical = &opt
+	if _, err := New(cfg); err == nil {
+		t.Error("starved optical ladder accepted")
+	}
+	// The paper's ladder passes.
+	ok := PaperOpticalLevels(linkmodel.DefaultParams().ModInputOpticalW)
+	cfg.Optical = &ok
+	if _, err := New(cfg); err != nil {
+		t.Errorf("paper optical ladder rejected: %v", err)
+	}
+}

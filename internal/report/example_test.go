@@ -1,0 +1,25 @@
+package report_test
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+func ExampleTable() {
+	t := report.NewTable("link power ladder", "rate (Gb/s)", "power (mW)")
+	t.AddRowf(5.0, 61.31)
+	t.AddRowf(10.0, 290.1)
+	fmt.Print(t.String())
+	// Output:
+	// link power ladder
+	// rate (Gb/s)  power (mW)
+	// -----------  ----------
+	// 5            61.31
+	// 10           290.1
+}
+
+func ExampleSparkline() {
+	fmt.Println(report.Sparkline([]float64{1, 2, 3, 8, 3, 2, 1}))
+	// Output: ▁▂▃█▃▂▁
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long", "22")
+	out := tb.String()
+	if !strings.HasPrefix(out, "My title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: 'value' column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "value")
+	for _, l := range lines[3:] {
+		if len(l) < idx {
+			t.Errorf("row shorter than header: %q", l)
+		}
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")                // missing cells blank
+	tb.AddRow("1", "2", "3", "4") // extra cell dropped
+	if len(tb.Rows[0]) != 3 || len(tb.Rows[1]) != 3 {
+		t.Errorf("row normalisation failed: %v", tb.Rows)
+	}
+	if tb.Rows[1][2] != "3" {
+		t.Errorf("cells misplaced: %v", tb.Rows[1])
+	}
+}
+
+func TestAddRowfFormats(t *testing.T) {
+	tb := NewTable("", "a", "b", "c", "d")
+	tb.AddRowf(3.14159265, 42, "str", math.NaN())
+	row := tb.Rows[0]
+	if row[0] != "3.142" {
+		t.Errorf("float cell = %q, want 3.142", row[0])
+	}
+	if row[1] != "42" {
+		t.Errorf("int cell = %q", row[1])
+	}
+	if row[2] != "str" {
+		t.Errorf("string cell = %q", row[2])
+	}
+	if row[3] != "-" {
+		t.Errorf("NaN cell = %q, want -", row[3])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1, "1"},
+		{-3, "-3"},
+		{0.5, "0.5"},
+		{1234.5678, "1235"},
+		{0.0001234, "0.0001234"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "name", "note")
+	tb.AddRow("a,b", `say "hi"`)
+	csv := tb.CSV()
+	want := "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length %d, want 4 runes: %q", len([]rune(s)), s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline extremes wrong: %q", s)
+	}
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	// Constant series: all lowest glyph, no division by zero.
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat sparkline has %q", string(r))
+		}
+	}
+	// NaN becomes a blank.
+	withNaN := []rune(Sparkline([]float64{1, math.NaN(), 2}))
+	if withNaN[1] != ' ' {
+		t.Errorf("NaN sparkline cell = %q", string(withNaN[1]))
+	}
+}

@@ -1,0 +1,80 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Buffer is a fixed-capacity flit FIFO (one per input virtual channel)
+// that also integrates its occupancy over time. The occupancy integral is
+// what the upstream link's policy controller reads as Bu (Eq. 10): the
+// average fraction of buffer slots occupied across a sampling window.
+type Buffer struct {
+	slots []FlitRef
+	head  int
+	count int
+
+	occInt float64 // occupied-slot·cycles
+	lastT  sim.Cycle
+}
+
+// NewBuffer returns a buffer with the given capacity in flits
+// (paper: 16 per input port).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("router: buffer capacity must be positive, got %d", capacity))
+	}
+	return &Buffer{slots: make([]FlitRef, capacity)}
+}
+
+func (b *Buffer) sync(now sim.Cycle) {
+	if now > b.lastT {
+		b.occInt += float64(b.count) * float64(now-b.lastT)
+		b.lastT = now
+	}
+}
+
+// Push appends a flit. It panics when full: credit-based flow control must
+// guarantee space, so overflow is a simulator bug, not a network event.
+func (b *Buffer) Push(now sim.Cycle, f FlitRef) {
+	if b.count == len(b.slots) {
+		panic("router: buffer overflow — credit accounting broken")
+	}
+	b.sync(now)
+	b.slots[(b.head+b.count)%len(b.slots)] = f
+	b.count++
+}
+
+// Pop removes and returns the head-of-line flit.
+func (b *Buffer) Pop(now sim.Cycle) FlitRef {
+	if b.count == 0 {
+		panic("router: pop from empty buffer")
+	}
+	b.sync(now)
+	f := b.slots[b.head]
+	b.slots[b.head] = FlitRef{}
+	b.head = (b.head + 1) % len(b.slots)
+	b.count--
+	return f
+}
+
+// Front returns the head-of-line flit without removing it.
+func (b *Buffer) Front() FlitRef {
+	if b.count == 0 {
+		panic("router: front of empty buffer")
+	}
+	return b.slots[b.head]
+}
+
+// Len returns the current occupancy in flits.
+func (b *Buffer) Len() int { return b.count }
+
+// Cap returns the buffer capacity in flits.
+func (b *Buffer) Cap() int { return len(b.slots) }
+
+// OccupancyIntegral returns cumulative occupied-slot·cycles up to now.
+func (b *Buffer) OccupancyIntegral(now sim.Cycle) float64 {
+	b.sync(now)
+	return b.occInt
+}

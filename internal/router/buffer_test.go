@@ -1,0 +1,181 @@
+package router
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestBufferFIFO(t *testing.T) {
+	b := NewBuffer(4)
+	p := &Packet{Len: 10}
+	for i := int32(0); i < 4; i++ {
+		b.Push(sim.Cycle(i), FlitRef{Pkt: p, Seq: i})
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d, want 4", b.Len())
+	}
+	for i := int32(0); i < 4; i++ {
+		f := b.Pop(sim.Cycle(10 + i))
+		if f.Seq != i {
+			t.Errorf("pop %d returned seq %d", i, f.Seq)
+		}
+	}
+	if b.Len() != 0 {
+		t.Errorf("len after drain = %d", b.Len())
+	}
+}
+
+func TestBufferWraparound(t *testing.T) {
+	b := NewBuffer(3)
+	p := &Packet{Len: 100}
+	seq := int32(0)
+	var popped []int32
+	for round := 0; round < 10; round++ {
+		for b.Len() < 3 {
+			b.Push(0, FlitRef{Pkt: p, Seq: seq})
+			seq++
+		}
+		for b.Len() > 1 {
+			popped = append(popped, b.Pop(0).Seq)
+		}
+	}
+	for i := 1; i < len(popped); i++ {
+		if popped[i] != popped[i-1]+1 {
+			t.Fatalf("FIFO order broken at %d: %v", i, popped[:i+1])
+		}
+	}
+}
+
+func TestBufferOverflowPanics(t *testing.T) {
+	b := NewBuffer(2)
+	p := &Packet{Len: 3}
+	b.Push(0, FlitRef{Pkt: p})
+	b.Push(0, FlitRef{Pkt: p, Seq: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	b.Push(0, FlitRef{Pkt: p, Seq: 2})
+}
+
+func TestBufferPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("pop from empty did not panic")
+		}
+	}()
+	NewBuffer(2).Pop(0)
+}
+
+func TestBufferZeroCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewBuffer(0)
+}
+
+// TestBufferOccupancyIntegral: occupancy × time must integrate exactly for
+// a hand-built schedule.
+func TestBufferOccupancyIntegral(t *testing.T) {
+	b := NewBuffer(4)
+	p := &Packet{Len: 10}
+	b.Push(10, FlitRef{Pkt: p, Seq: 0}) // occ 1 over [10,20)
+	b.Push(20, FlitRef{Pkt: p, Seq: 1}) // occ 2 over [20,50)
+	b.Pop(50)                           // occ 1 over [50,100)
+	got := b.OccupancyIntegral(100)
+	want := 1.0*10 + 2.0*30 + 1.0*50
+	if got != want {
+		t.Errorf("occupancy integral = %g, want %g", got, want)
+	}
+}
+
+// TestBufferOccupancyProperty: for random push/pop schedules the integral
+// equals the sum of per-flit residence times of removed flits plus
+// remaining occupancy.
+func TestBufferOccupancyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		b := NewBuffer(8)
+		p := &Packet{Len: 1 << 20}
+		type entry struct{ in sim.Cycle }
+		var inside []entry
+		var manual float64
+		now := sim.Cycle(0)
+		var seq int32
+		for i := 0; i < 200; i++ {
+			now += sim.Cycle(r.Intn(10))
+			if r.Bernoulli(0.5) && b.Len() < 8 {
+				b.Push(now, FlitRef{Pkt: p, Seq: seq})
+				seq++
+				inside = append(inside, entry{in: now})
+			} else if b.Len() > 0 {
+				b.Pop(now)
+				manual += float64(now - inside[0].in)
+				inside = inside[1:]
+			}
+		}
+		for _, e := range inside {
+			manual += float64(now - e.in)
+		}
+		return b.OccupancyIntegral(now) == manual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	var pool Pool
+	a := pool.Get()
+	a.Src = 7
+	id1 := a.ID
+	pool.Put(a)
+	b := pool.Get()
+	if b != a {
+		t.Error("pool did not recycle the freed packet")
+	}
+	if b.Src != 0 {
+		t.Error("recycled packet not zeroed")
+	}
+	if b.ID == id1 {
+		t.Error("recycled packet reused an ID")
+	}
+}
+
+func TestPoolIDsUnique(t *testing.T) {
+	var pool Pool
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		p := pool.Get()
+		if seen[p.ID] {
+			t.Fatalf("duplicate packet ID %d", p.ID)
+		}
+		seen[p.ID] = true
+		if i%3 == 0 {
+			pool.Put(p)
+		}
+	}
+}
+
+func TestFlitHeadTail(t *testing.T) {
+	p := &Packet{Len: 3}
+	if !(FlitRef{Pkt: p, Seq: 0}).IsHead() {
+		t.Error("seq 0 not head")
+	}
+	if (FlitRef{Pkt: p, Seq: 1}).IsHead() || (FlitRef{Pkt: p, Seq: 1}).IsTail() {
+		t.Error("seq 1 of 3 misclassified")
+	}
+	if !(FlitRef{Pkt: p, Seq: 2}).IsTail() {
+		t.Error("seq 2 of 3 not tail")
+	}
+	single := &Packet{Len: 1}
+	f := FlitRef{Pkt: single, Seq: 0}
+	if !f.IsHead() || !f.IsTail() {
+		t.Error("single-flit packet must be both head and tail")
+	}
+}

@@ -1,0 +1,137 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/powerlink"
+	"repro/internal/sim"
+)
+
+// DeliverFunc receives a flit at the downstream end of a channel.
+type DeliverFunc func(now sim.Cycle, f FlitRef)
+
+// Channel is the transmit side of one unidirectional opto-electronic link.
+// It serialises flits at the link's current bit rate: a 16-bit flit takes
+// exactly one router cycle at 10 Gb/s and proportionally longer at reduced
+// rates. Serialisation time is tracked in integer milli-cycles so that
+// fractional flit times (e.g. 1⅔ cycles at 6 Gb/s) accumulate without
+// drift. Because flits serialise strictly in order, at most one flit is in
+// flight at a time.
+type Channel struct {
+	plink   *powerlink.Link
+	wheel   *sim.Wheel
+	deliver DeliverFunc
+
+	busyUntilMC int64   // milli-cycles; channel idle when <= now*1000
+	busyCycles  float64 // cumulative serialisation time, for policy Lu
+	flits       int64
+
+	// In-flight flits awaiting their (cycle-rounded) delivery event. With
+	// sub-cycle serialisation starts, a new flit can begin while the
+	// previous one's delivery is still pending, so up to two can coexist.
+	pending    [4]FlitRef
+	pHead, pN  int
+	deliverEvt sim.Event
+}
+
+// NewChannel wires a channel to its power-aware link, the shared timing
+// wheel, and the downstream delivery function.
+func NewChannel(pl *powerlink.Link, wheel *sim.Wheel, deliver DeliverFunc) *Channel {
+	c := &Channel{plink: pl, wheel: wheel, deliver: deliver}
+	c.deliverEvt = func(now sim.Cycle) {
+		f := c.pending[c.pHead]
+		c.pending[c.pHead] = FlitRef{}
+		c.pHead = (c.pHead + 1) % len(c.pending)
+		c.pN--
+		c.deliver(now, f)
+	}
+	return c
+}
+
+// PLink returns the channel's power-aware link state machine.
+func (c *Channel) PLink() *powerlink.Link { return c.plink }
+
+// Busy reports whether the channel is mid-serialisation at the start of
+// cycle now.
+func (c *Channel) Busy(now sim.Cycle) bool {
+	return c.busyUntilMC > int64(now)*1000
+}
+
+// Usable reports whether a flit could start serialising during cycle now:
+// the previous flit finishes some time within this cycle (fractional flit
+// times at rates like 6 Gb/s must not round up to whole cycles, or the
+// link would lose real capacity) and the link is powered and locked.
+func (c *Channel) Usable(now sim.Cycle) bool {
+	return c.busyUntilMC < (int64(now)+1)*1000 && c.plink.BitRateGbps(now) > 0
+}
+
+// NextUsableAt returns the earliest cycle >= now at which the channel is
+// expected to accept a flit. If the link is off (ablation mode) a wake
+// request is issued as a side effect — waiting traffic is the demand
+// signal that re-activates an off link.
+func (c *Channel) NextUsableAt(now sim.Cycle) sim.Cycle {
+	t := sim.Cycle(c.busyUntilMC / 1000)
+	if t < now {
+		t = now
+	}
+	// Only probe the link at the present cycle — advancing its lazy state
+	// machine into the future would break other same-cycle observers.
+	if c.plink.Level(now) == powerlink.OffLevel {
+		c.plink.RequestStep(now, +1)
+	}
+	if at := c.plink.AvailableAt(now); at > t {
+		t = at
+	}
+	return t
+}
+
+// Send begins serialising f at cycle now and schedules its delivery. The
+// caller must have checked Usable; Send panics otherwise (a simulator bug,
+// not a network condition).
+func (c *Channel) Send(now sim.Cycle, f FlitRef) sim.Cycle {
+	rate := c.plink.BitRateGbps(now)
+	if rate <= 0 {
+		panic("router: Send on disabled link")
+	}
+	startMC := int64(now) * 1000
+	if c.busyUntilMC >= startMC+1000 {
+		panic("router: Send on busy channel")
+	}
+	// Continue from the exact point the previous flit finished, so the
+	// sub-cycle remainder of fractional flit times is not lost.
+	if c.busyUntilMC > startMC {
+		startMC = c.busyUntilMC
+	}
+	if c.pN == len(c.pending) {
+		panic("router: in-flight flit ring overflow")
+	}
+	mbpc := sim.MilliBitsPerCycle(rate)
+	durMC := (sim.FlitMilliBits*1000 + mbpc/2) / mbpc
+	if durMC < 1 {
+		durMC = 1
+	}
+	c.busyUntilMC = startMC + durMC
+	c.busyCycles += float64(durMC) / 1000
+	c.flits++
+
+	arrival := sim.Cycle((c.busyUntilMC + 999) / 1000)
+	if arrival <= now {
+		arrival = now + 1
+	}
+	c.pending[(c.pHead+c.pN)%len(c.pending)] = f
+	c.pN++
+	c.wheel.Schedule(arrival, c.deliverEvt)
+	return arrival
+}
+
+// BusyCycles returns the cumulative serialisation time in (fractional)
+// router cycles — the policy controller's Lu numerator.
+func (c *Channel) BusyCycles() float64 { return c.busyCycles }
+
+// Flits returns the number of flits transmitted.
+func (c *Channel) Flits() int64 { return c.flits }
+
+// String implements fmt.Stringer for debugging.
+func (c *Channel) String() string {
+	return fmt.Sprintf("channel{busyUntilMC=%d flits=%d}", c.busyUntilMC, c.flits)
+}

@@ -1,0 +1,84 @@
+// Package router implements the flit-level virtual-channel router
+// microarchitecture of Fig. 4(b): a 12-port, 5-stage pipelined wormhole
+// router with credit-based flow control. Eight ports connect to the
+// processing nodes of the local rack (injection/ejection) and four to the
+// neighbouring racks of the mesh.
+//
+// The pipeline is modelled with per-flit eligibility timestamps rather
+// than explicit stage registers: a head flit that arrives at cycle a may
+// win switch allocation no earlier than a+4 (buffer write, route
+// computation, VC allocation, switch allocation), traverses the crossbar
+// in the same grant cycle and then serialises onto the output channel;
+// body flits need only buffer write and so are eligible at a+1, sustaining
+// one flit per cycle behind their head at full link rate.
+package router
+
+import (
+	"repro/internal/sim"
+)
+
+// Pipeline eligibility offsets (cycles after buffer arrival).
+const (
+	// HeadPipeDelay covers BW + RC + VA + SA for head flits.
+	HeadPipeDelay = 4
+	// BodyPipeDelay covers BW for body/tail flits.
+	BodyPipeDelay = 1
+	// CreditDelay is the upstream credit-return latency.
+	CreditDelay = 1
+)
+
+// Packet is one network packet. Packets are flit-segmented on the wire;
+// the Packet struct itself travels by reference inside the simulator and
+// is recycled through a free pool after ejection.
+type Packet struct {
+	ID        int64
+	Src       int // source node (global id)
+	Dst       int // destination node (global id)
+	DstRouter int // destination router
+	DstLocal  int // ejection port at the destination router
+	Len       int // length in flits
+	CreatedAt sim.Cycle
+
+	next *Packet // pool linkage
+}
+
+// Pool recycles Packet structs to keep long simulations allocation-free.
+type Pool struct {
+	free   *Packet
+	nextID int64
+}
+
+// Get returns a zeroed packet with a fresh ID.
+func (p *Pool) Get() *Packet {
+	pk := p.free
+	if pk == nil {
+		pk = &Packet{}
+	} else {
+		p.free = pk.next
+		*pk = Packet{}
+	}
+	p.nextID++
+	pk.ID = p.nextID
+	return pk
+}
+
+// Put returns a packet to the pool. The caller must not retain references.
+func (p *Pool) Put(pk *Packet) {
+	pk.next = p.free
+	p.free = pk
+}
+
+// FlitRef identifies one flit of a packet in flight.
+type FlitRef struct {
+	Pkt     *Packet
+	Seq     int32     // 0-based position within the packet
+	VC      int8      // virtual channel the flit travels on (downstream)
+	ReadyAt sim.Cycle // earliest cycle this flit may win switch allocation
+}
+
+// IsHead reports whether this is the packet's head flit.
+func (f FlitRef) IsHead() bool { return f.Seq == 0 }
+
+// IsTail reports whether this is the packet's tail flit. Single-flit
+// packets are both head and tail.
+func (f FlitRef) IsTail() bool { return int(f.Seq) == f.Pkt.Len-1 }

@@ -1,0 +1,349 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RouteFunc computes the output port at router routerID for packet p.
+type RouteFunc func(routerID int, p *Packet) int
+
+// Scheduler is the part of the surrounding network the router talks to:
+// the shared timing wheel and the active-output work list.
+type Scheduler interface {
+	Wheel() *sim.Wheel
+	// ActivateOutput queues o for grant processing; idempotent while the
+	// output is already active.
+	ActivateOutput(o *Output)
+}
+
+// CreditSink receives returned credits for a virtual channel: the upstream
+// output port of a router-to-router link, or a NIC for an injection link.
+type CreditSink interface {
+	ReturnCredit(now sim.Cycle, vc int)
+}
+
+// Config parameterises one router.
+type Config struct {
+	ID       int
+	Ports    int
+	VCs      int
+	BufDepth int // flits per input VC
+	Route    RouteFunc
+}
+
+// Router is one 5-stage pipelined virtual-channel wormhole router.
+type Router struct {
+	id    int
+	ports int
+	vcs   int
+	depth int
+	route RouteFunc
+	sched Scheduler
+
+	ins       []inputVC
+	outs      []Output
+	inputBusy []sim.Cycle // per input port: cycle of the last crossbar grant
+
+	flitsRouted int64
+}
+
+type inputVC struct {
+	buf      *Buffer
+	route    int  // output port for the current packet, -1 when unset
+	outVC    int  // allocated output VC at that port, -1 when unset
+	inReq    bool // currently queued in an output's request list
+	upstream CreditSink
+	upVC     int
+
+	holEvt    sim.Event // fires register() when the HOL flit becomes ready
+	creditEvt sim.Event // returns one credit upstream
+}
+
+// Output is one router output port: the request list competing for it, its
+// output virtual channels (tracking downstream buffer credits and wormhole
+// ownership), and the physical channel.
+type Output struct {
+	router *Router
+	port   int
+	ch     *Channel
+	ovc    []outVC
+	req    []int // input-VC indices with a ready HOL flit routed here
+	rr     int   // round-robin scan start
+	active bool
+
+	wakePending bool
+	wakeEvt     sim.Event
+
+	grants int64
+}
+
+type outVC struct {
+	credits int
+	owner   int // input-VC index holding this output VC, -1 when free
+}
+
+// New builds a router with all ports and VCs initialised. Channels are
+// attached afterwards via ConnectOutput; input-port upstreams via
+// SetUpstream.
+func New(cfg Config, sched Scheduler) *Router {
+	if cfg.Ports <= 0 || cfg.VCs <= 0 || cfg.BufDepth <= 0 {
+		panic(fmt.Sprintf("router: bad config %+v", cfg))
+	}
+	r := &Router{
+		id:        cfg.ID,
+		ports:     cfg.Ports,
+		vcs:       cfg.VCs,
+		depth:     cfg.BufDepth,
+		route:     cfg.Route,
+		sched:     sched,
+		ins:       make([]inputVC, cfg.Ports*cfg.VCs),
+		outs:      make([]Output, cfg.Ports),
+		inputBusy: make([]sim.Cycle, cfg.Ports),
+	}
+	for i := range r.inputBusy {
+		r.inputBusy[i] = -1
+	}
+	for i := range r.ins {
+		in := &r.ins[i]
+		in.buf = NewBuffer(cfg.BufDepth)
+		in.route = -1
+		in.outVC = -1
+		idx := i
+		in.holEvt = func(now sim.Cycle) { r.register(now, idx) }
+		in.creditEvt = func(now sim.Cycle) {
+			up := r.ins[idx].upstream
+			if up != nil {
+				up.ReturnCredit(now, r.ins[idx].upVC)
+			}
+		}
+	}
+	for p := range r.outs {
+		o := &r.outs[p]
+		o.router = r
+		o.port = p
+		o.ovc = make([]outVC, cfg.VCs)
+		for v := range o.ovc {
+			o.ovc[v] = outVC{credits: cfg.BufDepth, owner: -1}
+		}
+		o.wakeEvt = func(now sim.Cycle) {
+			o.wakePending = false
+			if len(o.req) > 0 {
+				r.sched.ActivateOutput(o)
+			}
+		}
+	}
+	return r
+}
+
+// ID returns the router's identifier.
+func (r *Router) ID() int { return r.id }
+
+// Ports returns the number of ports.
+func (r *Router) Ports() int { return r.ports }
+
+// VCs returns the number of virtual channels per port.
+func (r *Router) VCs() int { return r.vcs }
+
+// FlitsRouted returns the number of flits this router has switched.
+func (r *Router) FlitsRouted() int64 { return r.flitsRouted }
+
+// Output returns output port p.
+func (r *Router) Output(p int) *Output { return &r.outs[p] }
+
+// InputBuffer returns the buffer of input port p, virtual channel v —
+// what the upstream link's policy controller samples for Bu.
+func (r *Router) InputBuffer(p, v int) *Buffer { return r.ins[p*r.vcs+v].buf }
+
+// SetUpstream wires the credit-return path for input port p, VC v: when a
+// flit leaves that buffer, sink.ReturnCredit(·, upVC) is invoked after
+// CreditDelay cycles.
+func (r *Router) SetUpstream(p, v int, sink CreditSink, upVC int) {
+	in := &r.ins[p*r.vcs+v]
+	in.upstream = sink
+	in.upVC = upVC
+}
+
+// ConnectOutput attaches the physical channel for output port p.
+func (r *Router) ConnectOutput(p int, ch *Channel) { r.outs[p].ch = ch }
+
+// AcceptFlit is the delivery function for channels terminating at input
+// port p of this router: the flit is written into the VC buffer it was
+// sent on and pipeline eligibility is stamped.
+func (r *Router) AcceptFlit(p int) DeliverFunc {
+	return func(now sim.Cycle, f FlitRef) {
+		ivc := p*r.vcs + int(f.VC)
+		in := &r.ins[ivc]
+		if f.IsHead() {
+			f.ReadyAt = now + HeadPipeDelay
+		} else {
+			f.ReadyAt = now + BodyPipeDelay
+		}
+		wasEmpty := in.buf.Len() == 0
+		in.buf.Push(now, f)
+		if wasEmpty {
+			r.register(now, ivc)
+		}
+	}
+}
+
+// register makes input VC ivc's head-of-line flit compete for its output
+// port, scheduling itself for later if the flit is not yet pipeline-ready.
+func (r *Router) register(now sim.Cycle, ivc int) {
+	in := &r.ins[ivc]
+	if in.inReq || in.buf.Len() == 0 {
+		return
+	}
+	f := in.buf.Front()
+	if f.ReadyAt > now {
+		r.sched.Wheel().Schedule(f.ReadyAt, in.holEvt)
+		return
+	}
+	if f.IsHead() && in.route < 0 {
+		in.route = r.route(r.id, f.Pkt) // route computation stage
+		if in.route < 0 || in.route >= r.ports {
+			panic(fmt.Sprintf("router %d: route for packet %d -> invalid port %d", r.id, f.Pkt.ID, in.route))
+		}
+	}
+	o := &r.outs[in.route]
+	in.inReq = true
+	o.req = append(o.req, ivc)
+	r.sched.ActivateOutput(o)
+}
+
+// TryGrant runs one switch-allocation round for this output port at cycle
+// now: at most one flit is granted. It returns whether the output should
+// remain on the active list for the next cycle.
+func (o *Output) TryGrant(now sim.Cycle) bool {
+	r := o.router
+	if len(o.req) == 0 {
+		o.active = false
+		return false
+	}
+	// Link/channel availability gates everything: when the channel is
+	// serialising or the link is mid-frequency-switch, sleep until it is
+	// expected back.
+	if !o.ch.Usable(now) {
+		o.active = false
+		if !o.wakePending {
+			o.wakePending = true
+			at := o.ch.NextUsableAt(now)
+			if at <= now {
+				at = now + 1
+			}
+			r.sched.Wheel().Schedule(at, o.wakeEvt)
+		}
+		return false
+	}
+
+	n := len(o.req)
+	for k := 0; k < n; k++ {
+		i := (o.rr + k) % n
+		ivc := o.req[i]
+		in := &r.ins[ivc]
+		inPort := ivc / r.vcs
+		if r.inputBusy[inPort] == now {
+			continue // crossbar input already used this cycle
+		}
+		// VC allocation for head flits that have not yet acquired an
+		// output VC.
+		if in.outVC < 0 {
+			free := -1
+			for v := range o.ovc {
+				if o.ovc[v].owner < 0 {
+					free = v
+					break
+				}
+			}
+			if free < 0 {
+				continue // all output VCs owned; wait for a tail to pass
+			}
+			o.ovc[free].owner = ivc
+			in.outVC = free
+		}
+		v := in.outVC
+		if o.ovc[v].credits == 0 {
+			continue // downstream buffer full; credit return reactivates us
+		}
+
+		// Grant: switch traversal and link transmission.
+		o.ovc[v].credits--
+		f := in.buf.Pop(now)
+		r.inputBusy[inPort] = now
+		r.flitsRouted++
+		o.grants++
+		if in.upstream != nil {
+			r.sched.Wheel().Schedule(now+CreditDelay, in.creditEvt)
+		}
+		f.VC = int8(v)
+		o.ch.Send(now, f)
+
+		if f.IsTail() {
+			o.ovc[v].owner = -1
+			in.outVC = -1
+			in.route = -1
+		}
+
+		// Remove ivc from the request list (ordered, for stable fairness)
+		// and advance the round-robin pointer past the granted slot.
+		o.req = append(o.req[:i], o.req[i+1:]...)
+		in.inReq = false
+		if len(o.req) > 0 {
+			o.rr = i % len(o.req)
+		} else {
+			o.rr = 0
+		}
+		// Re-register the next flit in this VC (it may target the same or,
+		// after a tail, a different output).
+		if in.buf.Len() > 0 {
+			r.register(now, ivc)
+		}
+		o.active = len(o.req) > 0
+		return o.active
+	}
+	// Requests exist but none could be granted this cycle (input-port
+	// conflicts, VC exhaustion, or zero credits). Stay active: conflicts
+	// clear next cycle, and credit returns also re-activate us.
+	return true
+}
+
+// ReturnCredit implements CreditSink for the downstream side of this
+// output's link: a flit left the downstream input buffer, freeing a slot.
+func (o *Output) ReturnCredit(now sim.Cycle, vc int) {
+	o.ovc[vc].credits++
+	if len(o.req) > 0 {
+		o.router.sched.ActivateOutput(o)
+	}
+}
+
+// Credits returns the available credits on output VC v (tests/diagnostics).
+func (o *Output) Credits(v int) int { return o.ovc[v].credits }
+
+// TotalCredits returns the credits summed over the output's VCs — the
+// congestion signal adaptive routing selects by.
+func (o *Output) TotalCredits() int {
+	var sum int
+	for v := range o.ovc {
+		sum += o.ovc[v].credits
+	}
+	return sum
+}
+
+// Grants returns the number of flits this output has switched.
+func (o *Output) Grants() int64 { return o.grants }
+
+// Channel returns the attached physical channel.
+func (o *Output) Channel() *Channel { return o.ch }
+
+// Port returns the output's port index.
+func (o *Output) Port() int { return o.port }
+
+// Active reports whether the output is on the scheduler's work list.
+func (o *Output) Active() bool { return o.active }
+
+// SetActive marks the output as queued; used by the Scheduler only.
+func (o *Output) SetActive(v bool) { o.active = v }
+
+// QueuedRequests returns the number of input VCs competing for this output.
+func (o *Output) QueuedRequests() int { return len(o.req) }

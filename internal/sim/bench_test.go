@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkRNGFloat64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Float64()
+	}
+}
+
+func BenchmarkWheelScheduleAdvance(b *testing.B) {
+	w := NewWheel(4096)
+	nop := Event(func(Cycle) {})
+	for i := 0; i < b.N; i++ {
+		now := Cycle(i)
+		w.Schedule(now+3, nop)
+		w.Advance(now)
+	}
+}
+
+func BenchmarkWheelFarEvents(b *testing.B) {
+	w := NewWheel(64)
+	nop := Event(func(Cycle) {})
+	for i := 0; i < b.N; i++ {
+		now := Cycle(i)
+		w.Schedule(now+10_000, nop) // always beyond the horizon
+		w.Advance(now)
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCycleSeconds(t *testing.T) {
+	if got := Cycle(1).Seconds(); math.Abs(got-1.6e-9) > 1e-18 {
+		t.Errorf("1 cycle = %g s, want 1.6e-9", got)
+	}
+	if got := Cycle(625_000_000).Seconds(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("625M cycles = %g s, want 1.0", got)
+	}
+}
+
+func TestCycleMicros(t *testing.T) {
+	if got := Cycle(625).Micros(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("625 cycles = %g µs, want 1.0", got)
+	}
+}
+
+func TestCyclesFromMicros(t *testing.T) {
+	cases := []struct {
+		us   float64
+		want Cycle
+	}{
+		{100, 62500},
+		{200, 125000},
+		{1.6e-3, 1},
+	}
+	for _, c := range cases {
+		if got := CyclesFromMicros(c.us); got != c.want {
+			t.Errorf("CyclesFromMicros(%g) = %d, want %d", c.us, got, c.want)
+		}
+	}
+}
+
+func TestCyclesMicrosRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		c := Cycle(n)
+		return CyclesFromMicros(c.Micros()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMilliBitsPerCycle(t *testing.T) {
+	cases := []struct {
+		gbps float64
+		want int64
+	}{
+		{10, 16000}, // exactly one 16-bit flit per cycle
+		{5, 8000},
+		{3.3, 5280},
+		{6, 9600},
+	}
+	for _, c := range cases {
+		if got := MilliBitsPerCycle(c.gbps); got != c.want {
+			t.Errorf("MilliBitsPerCycle(%g) = %d, want %d", c.gbps, got, c.want)
+		}
+	}
+}
+
+func TestMaxRateIsOneFlitPerCycle(t *testing.T) {
+	if MilliBitsPerCycle(MaxBitRateGbps) != FlitMilliBits {
+		t.Fatalf("at max rate a flit must serialise in exactly one cycle")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws in 100", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Errorf("zero-seeded RNG produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %g, want ≈0.5", mean)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(11)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for v, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Errorf("Intn(7) value %d drawn %d times in 70000, want ≈10000", v, c)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGBernoulli(t *testing.T) {
+	r := NewRNG(13)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %g", p)
+	}
+}
+
+func TestRNGBernoulliExtremes(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(21)
+	child := parent.Fork()
+	// The child must be deterministic given the parent seed...
+	parent2 := NewRNG(21)
+	child2 := parent2.Fork()
+	for i := 0; i < 100; i++ {
+		if child.Uint64() != child2.Uint64() {
+			t.Fatal("fork of identically seeded parents diverged")
+		}
+	}
+}
+
+func TestMilliBitsMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ra := 1 + float64(a)/16 // 1..~17 Gb/s
+		rb := 1 + float64(b)/16
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		return MilliBitsPerCycle(ra) <= MilliBitsPerCycle(rb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+// Package sim provides the foundational pieces shared by the network
+// simulator: the time base, deterministic random number generation, and
+// small helpers for cycle-driven simulation.
+//
+// The simulated system follows the paper's setup: routers run at a fixed
+// 625 MHz clock (one network cycle = 1.6 ns) while each opto-electronic
+// link runs in its own clock domain at a policy-controlled bit rate.
+// All control timing is expressed in router cycles.
+package sim
+
+// Cycle is a point in simulated time, measured in router clock cycles.
+// The router clock is fixed at 625 MHz, so one Cycle is 1.6 ns.
+type Cycle int64
+
+// Physical constants of the simulated system.
+const (
+	// RouterClockHz is the fixed router core frequency.
+	RouterClockHz = 625e6
+
+	// CyclePicos is the duration of one router cycle in picoseconds.
+	CyclePicos = 1600
+
+	// FlitBits is the width of a flit in bits. At the maximum bit rate of
+	// 10 Gb/s a 16-bit flit serialises in exactly one router cycle.
+	FlitBits = 16
+
+	// MaxBitRateGbps is the maximum link bit rate in Gb/s.
+	MaxBitRateGbps = 10.0
+)
+
+// Seconds converts a cycle count to seconds of simulated time.
+func (c Cycle) Seconds() float64 { return float64(c) * CyclePicos * 1e-12 }
+
+// Micros converts a cycle count to microseconds of simulated time.
+func (c Cycle) Micros() float64 { return float64(c) * CyclePicos * 1e-6 }
+
+// CyclesFromMicros returns the number of whole router cycles in d
+// microseconds of real time. Used to express the paper's 100 µs attenuator
+// response and 200 µs laser-controller epoch in cycles.
+func CyclesFromMicros(d float64) Cycle {
+	return Cycle(d*1e6/CyclePicos + 0.5)
+}
+
+// MilliBitsPerCycle returns the integer milli-bit serialisation credit a
+// link earns per router cycle at the given bit rate. A 16-bit flit is
+// FlitMilliBits milli-bits, so a 10 Gb/s link earns exactly one flit of
+// credit per cycle. Using integer milli-bits keeps multi-million-cycle
+// simulations free of floating-point drift.
+func MilliBitsPerCycle(bitRateGbps float64) int64 {
+	// bits per cycle = bitRate(Gb/s) * 1.6ns = bitRate * 1.6 bits.
+	// milli-bits per cycle = bitRate * 1600.
+	return int64(bitRateGbps*1600 + 0.5)
+}
+
+// FlitMilliBits is the serialisation cost of one flit in milli-bits.
+const FlitMilliBits = FlitBits * 1000

@@ -1,0 +1,105 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback fired at a scheduled cycle. Events must not schedule
+// into the past.
+type Event func(now Cycle)
+
+// Wheel is a timing wheel for near-future events with a heap overflow for
+// far-future ones. Almost all simulator events (flit arrivals, channel
+// free, credit returns) land within a few cycles; the wheel makes those
+// O(1). Longer waits (CDR relock, link wake-up) spill into the heap.
+type Wheel struct {
+	buckets   [][]Event
+	mask      Cycle
+	now       Cycle
+	horizon   Cycle
+	far       farHeap
+	pending   int
+	advancing bool
+}
+
+// NewWheel returns a wheel with the given power-of-two bucket count.
+func NewWheel(size int) *Wheel {
+	if size <= 0 || size&(size-1) != 0 {
+		panic("sim: wheel size must be a positive power of two")
+	}
+	return &Wheel{
+		buckets: make([][]Event, size),
+		mask:    Cycle(size - 1),
+		horizon: Cycle(size),
+	}
+}
+
+// Schedule registers ev to fire at cycle at. Inside an Advance callback,
+// scheduling for the current cycle fires later in the same Advance; outside
+// of Advance, a request for the current cycle (or earlier) is deferred to
+// the next cycle, since the current cycle's bucket has already run.
+func (w *Wheel) Schedule(at Cycle, ev Event) {
+	if w.advancing {
+		if at < w.now {
+			at = w.now
+		}
+	} else if at <= w.now {
+		at = w.now + 1
+	}
+	w.pending++
+	if at-w.now >= w.horizon {
+		heap.Push(&w.far, farEvent{at: at, ev: ev})
+		return
+	}
+	idx := at & w.mask
+	w.buckets[idx] = append(w.buckets[idx], ev)
+}
+
+// Advance runs every event scheduled for cycle now. Cycles must be
+// presented consecutively (every cycle advanced exactly once, in order).
+func (w *Wheel) Advance(now Cycle) {
+	w.now = now
+	w.advancing = true
+	defer func() { w.advancing = false }()
+	// Pull matured far events into the current bucket first.
+	for len(w.far) > 0 && w.far[0].at <= now {
+		fe := heap.Pop(&w.far).(farEvent)
+		w.pending--
+		fe.ev(now)
+	}
+	idx := now & w.mask
+	bucket := w.buckets[idx]
+	if len(bucket) == 0 {
+		return
+	}
+	// Events may schedule new events for this same cycle; they land in the
+	// same bucket, so iterate by index and re-read.
+	for i := 0; i < len(w.buckets[idx]); i++ {
+		ev := w.buckets[idx][i]
+		w.buckets[idx][i] = nil
+		w.pending--
+		ev(now)
+	}
+	w.buckets[idx] = w.buckets[idx][:0]
+}
+
+// Pending returns the number of scheduled events not yet fired. A drained
+// wheel with idle traffic sources means the simulation has quiesced.
+func (w *Wheel) Pending() int { return w.pending }
+
+type farEvent struct {
+	at Cycle
+	ev Event
+}
+
+type farHeap []farEvent
+
+func (h farHeap) Len() int            { return len(h) }
+func (h farHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h farHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *farHeap) Push(x interface{}) { *h = append(*h, x.(farEvent)) }
+func (h *farHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

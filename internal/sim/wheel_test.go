@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWheelFiresAtScheduledCycle(t *testing.T) {
+	w := NewWheel(16)
+	fired := map[Cycle]bool{}
+	for _, at := range []Cycle{1, 3, 7, 15} {
+		at := at
+		w.Schedule(at, func(now Cycle) {
+			if now != at {
+				t.Errorf("event scheduled for %d fired at %d", at, now)
+			}
+			fired[at] = true
+		})
+	}
+	for c := Cycle(0); c < 20; c++ {
+		w.Advance(c)
+	}
+	if len(fired) != 4 {
+		t.Errorf("fired %d events, want 4", len(fired))
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d after drain", w.Pending())
+	}
+}
+
+func TestWheelFarFuture(t *testing.T) {
+	w := NewWheel(8)
+	var got Cycle = -1
+	w.Schedule(1000, func(now Cycle) { got = now })
+	for c := Cycle(0); c <= 1000; c++ {
+		w.Advance(c)
+	}
+	if got != 1000 {
+		t.Errorf("far event fired at %d, want 1000", got)
+	}
+}
+
+func TestWheelSameCycleChaining(t *testing.T) {
+	// An event may schedule another event for the same cycle; it must fire
+	// within the same Advance.
+	w := NewWheel(8)
+	order := []int{}
+	w.Schedule(5, func(now Cycle) {
+		order = append(order, 1)
+		w.Schedule(5, func(Cycle) { order = append(order, 2) })
+	})
+	for c := Cycle(0); c < 8; c++ {
+		w.Advance(c)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("chained events order = %v", order)
+	}
+}
+
+func TestWheelPastScheduleOutsideAdvance(t *testing.T) {
+	// Outside Advance, scheduling at or before `now` defers to now+1
+	// (that bucket has already run).
+	w := NewWheel(8)
+	w.Advance(0)
+	w.Advance(1)
+	fired := Cycle(-1)
+	w.Schedule(1, func(now Cycle) { fired = now })
+	w.Advance(2)
+	if fired != 2 {
+		t.Errorf("past-scheduled event fired at %d, want deferral to 2", fired)
+	}
+}
+
+func TestWheelHorizonBoundary(t *testing.T) {
+	// An event exactly `size` cycles ahead must go to the far heap, not
+	// collide with the current bucket.
+	w := NewWheel(8)
+	fired := Cycle(-1)
+	w.Advance(0)
+	w.Schedule(8, func(now Cycle) { fired = now })
+	w.Advance(0) // same bucket index as 8 — must NOT fire
+	if fired != -1 {
+		t.Fatal("event for cycle 8 fired at cycle 0 (wheel wrap bug)")
+	}
+	for c := Cycle(1); c <= 8; c++ {
+		w.Advance(c)
+	}
+	if fired != 8 {
+		t.Errorf("fired at %d, want 8", fired)
+	}
+}
+
+func TestWheelBadSizePanics(t *testing.T) {
+	for _, size := range []int{0, -4, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWheel(%d) did not panic", size)
+				}
+			}()
+			NewWheel(size)
+		}()
+	}
+}
+
+// TestWheelPropertyAllFire: random schedules all fire exactly once at
+// their scheduled cycle.
+func TestWheelPropertyAllFire(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		w := NewWheel(32)
+		const n = 200
+		want := map[int]Cycle{}
+		got := map[int]Cycle{}
+		now := Cycle(0)
+		scheduled := 0
+		for scheduled < n {
+			// advance a random amount, scheduling random future events
+			for k := 0; k < 3 && scheduled < n; k++ {
+				id := scheduled
+				at := now + 1 + Cycle(r.Intn(100))
+				want[id] = at
+				w.Schedule(at, func(fireAt Cycle) { got[id] = fireAt })
+				scheduled++
+			}
+			next := now + 1 + Cycle(r.Intn(5))
+			for ; now < next; now++ {
+				w.Advance(now)
+			}
+		}
+		for ; now < 1000; now++ {
+			w.Advance(now)
+		}
+		if len(got) != n {
+			return false
+		}
+		for id, at := range want {
+			if got[id] != at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Error("empty histogram not zero")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.Quantile(q)
+		if got < 90 || got > 110 {
+			t.Errorf("Quantile(%g) = %g for a single value of 100", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy: against exact quantiles of a known
+// sample, the log-bucket estimate must be within one bucket (~9 %
+// below, since we report the bucket's lower bound).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	r := sim.NewRNG(3)
+	var h Histogram
+	var exact []float64
+	for i := 0; i < 50_000; i++ {
+		// Heavy-tailed sample: mix of short and long latencies.
+		v := sim.Cycle(20 + r.Intn(100))
+		if r.Bernoulli(0.05) {
+			v = sim.Cycle(1000 + r.Intn(10_000))
+		}
+		h.Record(v)
+		exact = append(exact, float64(v))
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want := exact[int(q*float64(len(exact)))-1]
+		got := h.Quantile(q)
+		if got > want*1.01 || got < want/1.15 {
+			t.Errorf("Quantile(%g) = %g, exact %g (allowed one log-bucket below)", q, got, want)
+		}
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		var h Histogram
+		for i := 0; i < 500; i++ {
+			h.Record(sim.Cycle(1 + r.Intn(100_000)))
+		}
+		prev := 0.0
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	r := sim.NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := sim.Cycle(1 + r.Intn(5000))
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), whole.Count())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		if math.Abs(a.Quantile(q)-whole.Quantile(q)) > 1e-9 {
+			t.Errorf("merged quantile %g differs: %g vs %g", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(10)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestHistogramZeroAndNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(0) // clamps to 1
+	if h.Count() != 1 {
+		t.Error("zero value not recorded")
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("quantile of clamped zero = %g, want 1", q)
+	}
+}

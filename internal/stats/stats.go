@@ -1,0 +1,156 @@
+// Package stats provides the measurement primitives used to reproduce the
+// paper's evaluation: streaming latency aggregation, bucketed time series
+// (injection rate, latency, and power over time for Figs. 6 and 7), and the
+// power-latency product metric.
+package stats
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Latency is a streaming aggregate of packet latencies.
+type Latency struct {
+	Count int64
+	Sum   float64
+	Min   sim.Cycle
+	Max   sim.Cycle
+}
+
+// Record adds one observation.
+func (l *Latency) Record(lat sim.Cycle) {
+	if l.Count == 0 || lat < l.Min {
+		l.Min = lat
+	}
+	if lat > l.Max {
+		l.Max = lat
+	}
+	l.Count++
+	l.Sum += float64(lat)
+}
+
+// Mean returns the mean latency in cycles (0 when empty).
+func (l *Latency) Mean() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.Sum / float64(l.Count)
+}
+
+// Merge folds other into l.
+func (l *Latency) Merge(other Latency) {
+	if other.Count == 0 {
+		return
+	}
+	if l.Count == 0 || other.Min < l.Min {
+		l.Min = other.Min
+	}
+	if other.Max > l.Max {
+		l.Max = other.Max
+	}
+	l.Count += other.Count
+	l.Sum += other.Sum
+}
+
+// Bucketed accumulates per-bucket observations over time: bucket i covers
+// cycles [i·Width, (i+1)·Width).
+type Bucketed struct {
+	Width sim.Cycle
+	sums  []float64
+	ns    []int64
+}
+
+// NewBucketed creates a bucketed accumulator with the given bucket width.
+func NewBucketed(width sim.Cycle) *Bucketed {
+	if width <= 0 {
+		panic("stats: bucket width must be positive")
+	}
+	return &Bucketed{Width: width}
+}
+
+// Add records value v at time t.
+func (b *Bucketed) Add(t sim.Cycle, v float64) {
+	i := int(t / b.Width)
+	for len(b.sums) <= i {
+		b.sums = append(b.sums, 0)
+		b.ns = append(b.ns, 0)
+	}
+	b.sums[i] += v
+	b.ns[i]++
+}
+
+// Buckets returns the number of buckets touched.
+func (b *Bucketed) Buckets() int { return len(b.sums) }
+
+// Mean returns bucket i's mean observation (NaN when empty).
+func (b *Bucketed) Mean(i int) float64 {
+	if i >= len(b.ns) || b.ns[i] == 0 {
+		return math.NaN()
+	}
+	return b.sums[i] / float64(b.ns[i])
+}
+
+// Sum returns bucket i's sum.
+func (b *Bucketed) Sum(i int) float64 {
+	if i >= len(b.sums) {
+		return 0
+	}
+	return b.sums[i]
+}
+
+// N returns bucket i's observation count.
+func (b *Bucketed) N(i int) int64 {
+	if i >= len(b.ns) {
+		return 0
+	}
+	return b.ns[i]
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	// T is the bucket's start time in cycles.
+	T sim.Cycle
+	// V is the value.
+	V float64
+}
+
+// Series is a simple time series.
+type Series []Point
+
+// MeanV returns the mean of the series' values (NaN-safe: NaN points are
+// skipped).
+func (s Series) MeanV() float64 {
+	var sum float64
+	var n int
+	for _, p := range s {
+		if !math.IsNaN(p.V) {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MaxV returns the maximum value (NaN when empty).
+func (s Series) MaxV() float64 {
+	best := math.NaN()
+	for _, p := range s {
+		if math.IsNaN(p.V) {
+			continue
+		}
+		if math.IsNaN(best) || p.V > best {
+			best = p.V
+		}
+	}
+	return best
+}
+
+// PowerLatencyProduct multiplies normalised power by normalised latency —
+// the paper's single-number power-performance metric.
+func PowerLatencyProduct(normPower, normLatency float64) float64 {
+	return normPower * normLatency
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestLatencyAggregate(t *testing.T) {
+	var l Latency
+	for _, v := range []sim.Cycle{10, 20, 30} {
+		l.Record(v)
+	}
+	if l.Count != 3 || l.Min != 10 || l.Max != 30 {
+		t.Errorf("aggregate %+v", l)
+	}
+	if l.Mean() != 20 {
+		t.Errorf("mean = %g, want 20", l.Mean())
+	}
+}
+
+func TestLatencyEmptyMean(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 {
+		t.Errorf("empty mean = %g", l.Mean())
+	}
+}
+
+func TestLatencyMerge(t *testing.T) {
+	var a, b Latency
+	a.Record(5)
+	a.Record(15)
+	b.Record(100)
+	a.Merge(b)
+	if a.Count != 3 || a.Min != 5 || a.Max != 100 {
+		t.Errorf("merged %+v", a)
+	}
+	var empty Latency
+	a.Merge(empty)
+	if a.Count != 3 {
+		t.Error("merging empty changed the aggregate")
+	}
+	empty.Merge(a)
+	if empty.Count != 3 || empty.Min != 5 {
+		t.Errorf("merge into empty: %+v", empty)
+	}
+}
+
+// TestLatencyMergeEquivalence (property): merging two halves equals
+// recording everything into one aggregate.
+func TestLatencyMergeEquivalence(t *testing.T) {
+	f := func(xs []uint16, split uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(split) % len(xs)
+		var whole, a, b Latency
+		for i, x := range xs {
+			whole.Record(sim.Cycle(x))
+			if i < k {
+				a.Record(sim.Cycle(x))
+			} else {
+				b.Record(sim.Cycle(x))
+			}
+		}
+		a.Merge(b)
+		return a == whole
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketed(t *testing.T) {
+	b := NewBucketed(100)
+	b.Add(5, 10)
+	b.Add(50, 20)
+	b.Add(150, 99)
+	if b.Buckets() != 2 {
+		t.Fatalf("buckets = %d, want 2", b.Buckets())
+	}
+	if got := b.Mean(0); got != 15 {
+		t.Errorf("bucket 0 mean = %g, want 15", got)
+	}
+	if got := b.Mean(1); got != 99 {
+		t.Errorf("bucket 1 mean = %g, want 99", got)
+	}
+	if !math.IsNaN(b.Mean(5)) {
+		t.Error("out-of-range bucket mean not NaN")
+	}
+	if b.Sum(0) != 30 || b.N(0) != 2 {
+		t.Errorf("bucket 0 sum/N = %g/%d", b.Sum(0), b.N(0))
+	}
+	if b.Sum(9) != 0 || b.N(9) != 0 {
+		t.Error("out-of-range bucket not zero")
+	}
+}
+
+func TestBucketedGapsAreNaN(t *testing.T) {
+	b := NewBucketed(10)
+	b.Add(0, 1)
+	b.Add(35, 2) // buckets 1 and 2 empty
+	if !math.IsNaN(b.Mean(1)) || !math.IsNaN(b.Mean(2)) {
+		t.Error("empty middle buckets should be NaN")
+	}
+}
+
+func TestBucketedZeroWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width did not panic")
+		}
+	}()
+	NewBucketed(0)
+}
+
+func TestSeriesMeanMax(t *testing.T) {
+	s := Series{{T: 0, V: 1}, {T: 10, V: 3}, {T: 20, V: math.NaN()}, {T: 30, V: 2}}
+	if got := s.MeanV(); got != 2 {
+		t.Errorf("MeanV = %g, want 2 (NaN skipped)", got)
+	}
+	if got := s.MaxV(); got != 3 {
+		t.Errorf("MaxV = %g, want 3", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if !math.IsNaN(s.MeanV()) || !math.IsNaN(s.MaxV()) {
+		t.Error("empty series should yield NaN")
+	}
+	allNaN := Series{{V: math.NaN()}}
+	if !math.IsNaN(allNaN.MeanV()) {
+		t.Error("all-NaN series should yield NaN")
+	}
+}
+
+func TestPowerLatencyProduct(t *testing.T) {
+	if got := PowerLatencyProduct(0.25, 1.5); got != 0.375 {
+		t.Errorf("PLP = %g, want 0.375", got)
+	}
+}

@@ -1,0 +1,319 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestBenchmarkStrings(t *testing.T) {
+	want := map[Benchmark]string{FFT: "fft", LU: "lu", Radix: "radix"}
+	for b, w := range want {
+		if b.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(b), b.String(), w)
+		}
+	}
+	if len(Benchmarks()) != 3 {
+		t.Errorf("Benchmarks() has %d entries, want 3", len(Benchmarks()))
+	}
+}
+
+func TestSpacingAlwaysPositiveOrIdle(t *testing.T) {
+	for _, b := range Benchmarks() {
+		sp := Spacing(b, 64)
+		for node := 0; node < 64; node += 7 {
+			for tt := sim.Cycle(0); tt < 500_000; tt += 777 {
+				s := sp(node, tt)
+				if s < 0 {
+					t.Fatalf("%v spacing(%d,%d) = %g < 0", b, node, tt, s)
+				}
+			}
+		}
+	}
+}
+
+// TestSpacingTemporalVariance: every benchmark must show the paper's
+// temporal variance — the per-node rate must differ by at least 10×
+// between its most and least active instants.
+func TestSpacingTemporalVariance(t *testing.T) {
+	for _, b := range Benchmarks() {
+		sp := Spacing(b, 64)
+		min, max := math.Inf(1), 0.0
+		for node := 0; node < 64; node++ {
+			for tt := sim.Cycle(0); tt < 800_000; tt += 501 {
+				s := sp(node, tt)
+				if s <= 0 {
+					continue
+				}
+				min = math.Min(min, s)
+				max = math.Max(max, s)
+			}
+		}
+		if max/min < 10 {
+			t.Errorf("%v spacing varies only %.1f×, want ≥10× (temporal variance)", b, max/min)
+		}
+	}
+}
+
+// TestFFTPhasesLongerThanRadix verifies the defining property the paper
+// leans on: FFT's activity phases are much longer than Radix's, making FFT
+// easier for the policy to track.
+func TestFFTPhasesLongerThanRadix(t *testing.T) {
+	phaseLen := func(b Benchmark) sim.Cycle {
+		sp := Spacing(b, 64)
+		// Measure node 0's longest contiguous run of identical spacing.
+		var best, cur sim.Cycle
+		prev := sp(0, 0)
+		for tt := sim.Cycle(1); tt < 1_000_000; tt++ {
+			s := sp(0, tt)
+			if s == prev {
+				cur++
+				if cur > best {
+					best = cur
+				}
+			} else {
+				cur = 0
+				prev = s
+			}
+		}
+		return best
+	}
+	fft, radix := phaseLen(FFT), phaseLen(Radix)
+	if fft < 10*radix {
+		t.Errorf("FFT longest phase %d not ≫ Radix %d", fft, radix)
+	}
+}
+
+func TestGeneratorProducesPackets(t *testing.T) {
+	for _, b := range Benchmarks() {
+		g := Generator(b, 64, 200_000)
+		rng := sim.NewRNG(1)
+		count := 0
+		for node := 0; node < 64; node++ {
+			at := sim.Cycle(-1)
+			for {
+				next, dst, size, ok := g.Next(node, at, rng)
+				if !ok {
+					break
+				}
+				if next >= 200_000 {
+					t.Fatalf("%v: packet at %d past End", b, next)
+				}
+				if dst == node || dst < 0 || dst >= 64 {
+					t.Fatalf("%v: bad destination %d", b, dst)
+				}
+				if size != PacketFlits {
+					t.Fatalf("%v: size %d, want %d", b, size, PacketFlits)
+				}
+				at = next
+				count++
+			}
+		}
+		if count < 100 {
+			t.Errorf("%v generated only %d packets in 200k cycles", b, count)
+		}
+	}
+}
+
+func TestMaterialiseSortedAndDeterministic(t *testing.T) {
+	a := Materialise(LU, 64, 100_000, 7)
+	b := Materialise(LU, 64, 100_000, 7)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("records differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("trace not time-sorted at %d", i)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := Materialise(Radix, 16, 30_000, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %v != %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace file")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated: valid magic + count, missing records.
+	var buf bytes.Buffer
+	if err := Write(&buf, Materialise(FFT, 8, 20_000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestWriteReadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("read %d records from empty trace", len(got))
+	}
+}
+
+func TestPlaybackPreservesRecords(t *testing.T) {
+	recs := Materialise(LU, 16, 50_000, 5)
+	pb, err := NewPlayback(recs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	replayed := 0
+	for node := 0; node < 16; node++ {
+		at := sim.Cycle(-1)
+		for {
+			next, dst, size, ok := pb.Next(node, at, rng)
+			if !ok {
+				break
+			}
+			if next <= at {
+				t.Fatalf("node %d: non-increasing time %d after %d", node, next, at)
+			}
+			if dst == node {
+				t.Fatalf("self destination in playback")
+			}
+			if size != PacketFlits {
+				t.Fatalf("size %d", size)
+			}
+			at = next
+			replayed++
+		}
+	}
+	if replayed != len(recs) {
+		t.Errorf("replayed %d of %d records", replayed, len(recs))
+	}
+}
+
+func TestPlaybackSameCycleBurst(t *testing.T) {
+	recs := []Record{
+		{At: 100, Src: 0, Dst: 1, Size: 4},
+		{At: 100, Src: 0, Dst: 2, Size: 4},
+		{At: 100, Src: 0, Dst: 3, Size: 4},
+	}
+	pb, err := NewPlayback(recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	at := sim.Cycle(-1)
+	var times []sim.Cycle
+	for {
+		next, _, _, ok := pb.Next(0, at, rng)
+		if !ok {
+			break
+		}
+		times = append(times, next)
+		at = next
+	}
+	if len(times) != 3 {
+		t.Fatalf("burst lost records: got %d of 3", len(times))
+	}
+	want := []sim.Cycle{100, 101, 102}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("burst times %v, want %v", times, want)
+		}
+	}
+}
+
+func TestPlaybackRejectsBadRecords(t *testing.T) {
+	bad := [][]Record{
+		{{At: 1, Src: -1, Dst: 0, Size: 1}},
+		{{At: 1, Src: 20, Dst: 0, Size: 1}},
+		{{At: 1, Src: 0, Dst: 0, Size: 1}},  // self
+		{{At: 1, Src: 0, Dst: 99, Size: 1}}, // out of range
+		{{At: 1, Src: 0, Dst: 1, Size: 0}},  // empty packet
+	}
+	for i, recs := range bad {
+		if _, err := NewPlayback(recs, 8); err == nil {
+			t.Errorf("bad record set %d accepted", i)
+		}
+	}
+}
+
+func TestPlaybackSortsUnsortedInput(t *testing.T) {
+	recs := []Record{
+		{At: 300, Src: 0, Dst: 1, Size: 1},
+		{At: 100, Src: 0, Dst: 2, Size: 1},
+		{At: 200, Src: 0, Dst: 3, Size: 1},
+	}
+	pb, err := NewPlayback(recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	at, dst, _, ok := pb.Next(0, -1, rng)
+	if !ok || at != 100 || dst != 2 {
+		t.Errorf("first replayed record (%d,%d), want (100,2)", at, dst)
+	}
+}
+
+// TestSortRecordsProperty: quicksort must order any permutation.
+func TestSortRecordsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 2
+		r := sim.NewRNG(seed)
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = Record{At: sim.Cycle(r.Intn(50)), Src: int32(r.Intn(10)), Dst: 1, Size: 1}
+		}
+		sortRecords(recs)
+		for i := 1; i < n; i++ {
+			if recLess(recs[i], recs[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultLengthGenerator(t *testing.T) {
+	g := Generator(FFT, 64, 0)
+	if g.End != DefaultLength {
+		t.Errorf("default length = %d, want %d", g.End, DefaultLength)
+	}
+}

@@ -1,0 +1,117 @@
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// Pattern maps a source node to its fixed destination in a permutation
+// workload. Permutation traffic concentrates each source's load onto one
+// path, producing the spatially skewed link utilisation that power-aware
+// policies exploit best (idle regions can sleep at the bottom level while
+// the used paths ride high).
+type Pattern func(node, nodes int) int
+
+// Transpose is the matrix-transpose permutation: with node ids viewed as
+// (row, col) on a √N × √N grid, (r, c) sends to (c, r). Nodes beyond the
+// largest square (when N is not a perfect square) are fixed points and
+// stay silent.
+func Transpose(node, nodes int) int {
+	side := intSqrt(nodes)
+	if node >= side*side {
+		return node
+	}
+	r, c := node/side, node%side
+	return c*side + r
+}
+
+// BitComplement sends node i to ^i (within the id width): the classic
+// worst case for dimension-order routing, loading the bisection heavily.
+func BitComplement(node, nodes int) int {
+	return (nodes - 1) ^ node
+}
+
+// BitReverse sends node i to the bit-reversal of i (within log2 N bits).
+// With a non-power-of-two node count, ids whose reversal falls outside the
+// range — or beyond the power-of-two prefix — are fixed points.
+func BitReverse(node, nodes int) int {
+	w := bits.Len(uint(nodes)) - 1
+	if node >= 1<<w {
+		return node
+	}
+	rev := int(bits.Reverse(uint(node)) >> (bits.UintSize - w))
+	if rev >= nodes {
+		return node
+	}
+	return rev
+}
+
+// Neighbor sends node i to i+1 mod N: minimal-distance traffic that barely
+// touches the mesh fabric.
+func Neighbor(node, nodes int) int {
+	return (node + 1) % nodes
+}
+
+func intSqrt(n int) int {
+	s := 0
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// Permutation is constant-rate traffic with a fixed source→destination
+// mapping.
+type Permutation struct {
+	Nodes int
+	// RatePerNode is the injection probability per node per cycle.
+	RatePerNode float64
+	Size        int
+	Pattern     Pattern
+}
+
+// NewPermutation builds permutation traffic from a network-wide rate in
+// packets/cycle.
+func NewPermutation(nodes int, networkRate float64, size int, p Pattern) (*Permutation, error) {
+	perm := &Permutation{
+		Nodes:       nodes,
+		RatePerNode: networkRate / float64(nodes),
+		Size:        size,
+		Pattern:     p,
+	}
+	return perm, perm.Validate()
+}
+
+// Validate checks the pattern is a self-free permutation of [0, Nodes).
+func (p *Permutation) Validate() error {
+	if p.Nodes < 2 {
+		return fmt.Errorf("traffic: permutation needs >= 2 nodes")
+	}
+	if p.Pattern == nil {
+		return fmt.Errorf("traffic: nil pattern")
+	}
+	seen := make([]bool, p.Nodes)
+	for n := 0; n < p.Nodes; n++ {
+		d := p.Pattern(n, p.Nodes)
+		if d < 0 || d >= p.Nodes {
+			return fmt.Errorf("traffic: pattern(%d) = %d outside [0,%d)", n, d, p.Nodes)
+		}
+		if seen[d] {
+			return fmt.Errorf("traffic: pattern is not a permutation (duplicate destination %d)", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// Next implements Generator. Self-mapped nodes (fixed points, e.g. the
+// diagonal of a transpose) inject nothing.
+func (p *Permutation) Next(node int, after sim.Cycle, rng *sim.RNG) (sim.Cycle, int, int, bool) {
+	dst := p.Pattern(node, p.Nodes)
+	if dst == node || p.RatePerNode <= 0 {
+		return 0, 0, 0, false
+	}
+	return after + geometricGap(p.RatePerNode, rng), dst, p.Size, true
+}

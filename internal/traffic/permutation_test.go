@@ -1,0 +1,102 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTransposePattern(t *testing.T) {
+	// 16 nodes = 4×4 grid: node 1 = (0,1) → (1,0) = node 4.
+	if got := Transpose(1, 16); got != 4 {
+		t.Errorf("Transpose(1) = %d, want 4", got)
+	}
+	// Diagonal fixed points map to themselves.
+	if got := Transpose(5, 16); got != 5 {
+		t.Errorf("Transpose(5) = %d, want 5 (diagonal)", got)
+	}
+	// Involution: applying twice is the identity.
+	for n := 0; n < 16; n++ {
+		if Transpose(Transpose(n, 16), 16) != n {
+			t.Fatalf("transpose not an involution at %d", n)
+		}
+	}
+}
+
+func TestBitComplementPattern(t *testing.T) {
+	if got := BitComplement(0, 64); got != 63 {
+		t.Errorf("BitComplement(0) = %d, want 63", got)
+	}
+	if got := BitComplement(0b101010, 64); got != 0b010101 {
+		t.Errorf("BitComplement(42) = %d, want 21", got)
+	}
+}
+
+func TestBitReversePattern(t *testing.T) {
+	// 8 nodes, 3 bits: 0b001 → 0b100.
+	if got := BitReverse(1, 8); got != 4 {
+		t.Errorf("BitReverse(1) = %d, want 4", got)
+	}
+	if got := BitReverse(6, 8); got != 3 {
+		t.Errorf("BitReverse(6) = %d, want 3", got)
+	}
+}
+
+func TestNeighborPattern(t *testing.T) {
+	if Neighbor(7, 8) != 0 || Neighbor(3, 8) != 4 {
+		t.Error("Neighbor wraps wrong")
+	}
+}
+
+func TestPermutationValidate(t *testing.T) {
+	for _, p := range []Pattern{Transpose, BitComplement, BitReverse, Neighbor} {
+		if _, err := NewPermutation(64, 1, 5, p); err != nil {
+			t.Errorf("valid pattern rejected: %v", err)
+		}
+	}
+	// A non-permutation (everyone → node 0) must be rejected.
+	if _, err := NewPermutation(8, 1, 5, func(n, N int) int { return 0 }); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	// Out-of-range destination.
+	if _, err := NewPermutation(8, 1, 5, func(n, N int) int { return n + N }); err == nil {
+		t.Error("out-of-range pattern accepted")
+	}
+	if _, err := NewPermutation(1, 1, 5, Neighbor); err == nil {
+		t.Error("1-node permutation accepted")
+	}
+}
+
+func TestPermutationFixedDestination(t *testing.T) {
+	p, err := NewPermutation(64, 6.4, 5, BitComplement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	at := sim.Cycle(-1)
+	for i := 0; i < 100; i++ {
+		next, dst, size, ok := p.Next(10, at, rng)
+		if !ok {
+			t.Fatal("generator stopped")
+		}
+		if dst != 53 {
+			t.Fatalf("BitComplement(10) delivered to %d, want 53", dst)
+		}
+		if size != 5 || next <= at {
+			t.Fatalf("bad packet (%d,%d)", size, next)
+		}
+		at = next
+	}
+}
+
+func TestPermutationFixedPointsSilent(t *testing.T) {
+	p, err := NewPermutation(16, 16, 5, Transpose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(2)
+	// Node 5 is on the diagonal: it must never inject.
+	if _, _, _, ok := p.Next(5, -1, rng); ok {
+		t.Error("diagonal node injected under transpose")
+	}
+}

@@ -1,0 +1,333 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestUniformRate(t *testing.T) {
+	const nodes = 64
+	u := NewUniform(nodes, 3.2, 5) // 0.05 packets/node/cycle
+	rng := sim.NewRNG(1)
+	const horizon = 200_000
+	count := 0
+	at := sim.Cycle(-1)
+	for {
+		next, _, size, ok := u.Next(0, at, rng)
+		if !ok || next >= horizon {
+			break
+		}
+		if size != 5 {
+			t.Fatalf("size %d, want 5", size)
+		}
+		if next <= at {
+			t.Fatalf("non-increasing arrival %d after %d", next, at)
+		}
+		at = next
+		count++
+	}
+	got := float64(count) / horizon
+	if math.Abs(got-0.05) > 0.005 {
+		t.Errorf("per-node rate %.4f, want 0.05", got)
+	}
+}
+
+func TestUniformNeverSelf(t *testing.T) {
+	u := NewUniform(16, 1, 5)
+	rng := sim.NewRNG(2)
+	for node := 0; node < 16; node++ {
+		at := sim.Cycle(-1)
+		for i := 0; i < 200; i++ {
+			next, dst, _, ok := u.Next(node, at, rng)
+			if !ok {
+				t.Fatal("uniform generator stopped")
+			}
+			if dst == node {
+				t.Fatalf("node %d sent to itself", node)
+			}
+			if dst < 0 || dst >= 16 {
+				t.Fatalf("destination %d out of range", dst)
+			}
+			at = next
+		}
+	}
+}
+
+func TestUniformDestinationsCoverAll(t *testing.T) {
+	u := NewUniform(8, 1, 1)
+	rng := sim.NewRNG(3)
+	seen := map[int]bool{}
+	at := sim.Cycle(-1)
+	for i := 0; i < 2000; i++ {
+		next, dst, _, ok := u.Next(3, at, rng)
+		if !ok {
+			break
+		}
+		seen[dst] = true
+		at = next
+	}
+	if len(seen) != 7 {
+		t.Errorf("node 3 reached %d destinations, want 7", len(seen))
+	}
+}
+
+func TestUniformZeroRate(t *testing.T) {
+	u := &Uniform{Nodes: 8, RatePerNode: 0, Size: 5}
+	if _, _, _, ok := u.Next(0, -1, sim.NewRNG(1)); ok {
+		t.Error("zero-rate generator produced a packet")
+	}
+}
+
+func TestScheduleRateAt(t *testing.T) {
+	s := Schedule{{Until: 100, NetworkRate: 1}, {Until: 200, NetworkRate: 3}}
+	cases := []struct {
+		t    sim.Cycle
+		want float64
+	}{{0, 1}, {99, 1}, {100, 3}, {199, 3}, {200, 0}, {1000, 0}}
+	for _, c := range cases {
+		if got := s.RateAt(c.t); got != c.want {
+			t.Errorf("RateAt(%d) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if s.End() != 200 {
+		t.Errorf("End = %d, want 200", s.End())
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	good := Schedule{{Until: 10, NetworkRate: 1}, {Until: 20, NetworkRate: 0}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good schedule rejected: %v", err)
+	}
+	bad := []Schedule{
+		{{Until: 10, NetworkRate: 1}, {Until: 10, NetworkRate: 2}}, // non-increasing
+		{{Until: 10, NetworkRate: -1}},                             // negative rate
+		{{Until: 0, NetworkRate: 1}},                               // zero end
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func hotspotForTest() *Hotspot {
+	return &Hotspot{
+		Nodes:     64,
+		Phases:    Schedule{{Until: 50_000, NetworkRate: 3.2}, {Until: 100_000, NetworkRate: 0.64}},
+		HotNode:   10,
+		HotWeight: 4,
+		Size:      5,
+	}
+}
+
+func TestHotspotRateFollowsPhases(t *testing.T) {
+	h := hotspotForTest()
+	rng := sim.NewRNG(4)
+	counts := [2]int{}
+	for node := 0; node < 64; node++ {
+		at := sim.Cycle(-1)
+		for {
+			next, _, _, ok := h.Next(node, at, rng)
+			if !ok {
+				break
+			}
+			if next < 50_000 {
+				counts[0]++
+			} else if next < 100_000 {
+				counts[1]++
+			}
+			at = next
+		}
+	}
+	// Phase 0: 3.2 pkt/cycle × 50k = 160k packets; phase 1: 0.64 × 50k = 32k.
+	if math.Abs(float64(counts[0])-160_000) > 8000 {
+		t.Errorf("phase-0 packets = %d, want ≈160000", counts[0])
+	}
+	if math.Abs(float64(counts[1])-32_000) > 4000 {
+		t.Errorf("phase-1 packets = %d, want ≈32000", counts[1])
+	}
+}
+
+func TestHotspotEndsAfterSchedule(t *testing.T) {
+	h := hotspotForTest()
+	rng := sim.NewRNG(5)
+	at := sim.Cycle(99_000)
+	for i := 0; i < 1000; i++ {
+		next, _, _, ok := h.Next(0, at, rng)
+		if !ok {
+			return // correctly terminated
+		}
+		if next >= 100_000 {
+			t.Fatalf("packet at %d, after schedule end", next)
+		}
+		at = next
+	}
+}
+
+// TestHotspotSpatialSkew: the hot node must receive ≈4× the traffic of an
+// average node.
+func TestHotspotSpatialSkew(t *testing.T) {
+	h := hotspotForTest()
+	rng := sim.NewRNG(6)
+	recv := make([]int, 64)
+	for node := 0; node < 64; node++ {
+		at := sim.Cycle(-1)
+		for {
+			next, dst, _, ok := h.Next(node, at, rng)
+			if !ok {
+				break
+			}
+			recv[dst]++
+			at = next
+		}
+	}
+	var others float64
+	for n, c := range recv {
+		if n != h.HotNode {
+			others += float64(c)
+		}
+	}
+	avg := others / 63
+	ratio := float64(recv[h.HotNode]) / avg
+	if math.Abs(ratio-4) > 0.5 {
+		t.Errorf("hot node receives %.2f× average, want ≈4×", ratio)
+	}
+}
+
+func TestHotspotNeverSelf(t *testing.T) {
+	h := hotspotForTest()
+	f := func(seed uint64, nodeRaw uint8) bool {
+		node := int(nodeRaw) % h.Nodes
+		rng := sim.NewRNG(seed)
+		at := sim.Cycle(-1)
+		for i := 0; i < 50; i++ {
+			next, dst, _, ok := h.Next(node, at, rng)
+			if !ok {
+				return true
+			}
+			if dst == node || dst < 0 || dst >= h.Nodes {
+				return false
+			}
+			at = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHotspotIdlePhaseSkipped(t *testing.T) {
+	h := &Hotspot{
+		Nodes: 8,
+		Phases: Schedule{
+			{Until: 100, NetworkRate: 8},
+			{Until: 10_000, NetworkRate: 0}, // long idle gap
+			{Until: 10_200, NetworkRate: 8},
+		},
+		HotNode: 1, HotWeight: 4, Size: 1,
+	}
+	rng := sim.NewRNG(7)
+	at := sim.Cycle(99)
+	sawLate := false
+	for i := 0; i < 500; i++ {
+		next, _, _, ok := h.Next(0, at, rng)
+		if !ok {
+			break
+		}
+		if next >= 100 && next < 10_000 {
+			t.Fatalf("packet at %d inside idle phase", next)
+		}
+		if next >= 10_000 {
+			sawLate = true
+		}
+		at = next
+	}
+	if !sawLate {
+		t.Error("generator never resumed after the idle phase")
+	}
+}
+
+func TestModulatedFollowsEnvelope(t *testing.T) {
+	m := &Modulated{
+		Nodes: 32,
+		Rate: func(t sim.Cycle) float64 {
+			if t < 50_000 {
+				return 2.0
+			}
+			return 0.2
+		},
+		Size: 5,
+		End:  100_000,
+	}
+	rng := sim.NewRNG(8)
+	counts := [2]int{}
+	for node := 0; node < 32; node++ {
+		at := sim.Cycle(-1)
+		for {
+			next, _, _, ok := m.Next(node, at, rng)
+			if !ok {
+				break
+			}
+			if next >= 100_000 {
+				t.Fatalf("packet at %d past End", next)
+			}
+			if next < 50_000 {
+				counts[0]++
+			} else {
+				counts[1]++
+			}
+			at = next
+		}
+	}
+	if math.Abs(float64(counts[0])-100_000) > 5000 {
+		t.Errorf("high-phase packets = %d, want ≈100000", counts[0])
+	}
+	if math.Abs(float64(counts[1])-10_000) > 2000 {
+		t.Errorf("low-phase packets = %d, want ≈10000", counts[1])
+	}
+}
+
+func TestModulatedZeroEnvelope(t *testing.T) {
+	m := &Modulated{
+		Nodes: 4,
+		Rate:  func(sim.Cycle) float64 { return 0 },
+		Size:  5,
+		End:   10_000,
+	}
+	if _, _, _, ok := m.Next(0, -1, sim.NewRNG(9)); ok {
+		t.Error("all-zero envelope produced a packet")
+	}
+}
+
+func TestGeometricGapStatistics(t *testing.T) {
+	rng := sim.NewRNG(10)
+	const p = 0.1
+	const n = 100_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		g := geometricGap(p, rng)
+		if g < 1 {
+			t.Fatalf("gap %d < 1", g)
+		}
+		sum += float64(g)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.3 {
+		t.Errorf("geometric mean gap = %.2f, want ≈10", mean)
+	}
+}
+
+func TestGeometricGapExtremeP(t *testing.T) {
+	rng := sim.NewRNG(11)
+	if g := geometricGap(1, rng); g != 1 {
+		t.Errorf("gap at p=1 is %d, want 1", g)
+	}
+	if g := geometricGap(2, rng); g != 1 {
+		t.Errorf("gap at p>1 is %d, want 1", g)
+	}
+}
