@@ -3,11 +3,15 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // forEach runs f(i) for i in [0, n) on up to NumCPU workers. Simulation
 // runs are independent, deterministic given their config, and CPU-bound,
-// so sweeps parallelise perfectly.
+// so sweeps parallelise perfectly. Work is claimed via an atomic index
+// rather than a channel: with 30+-point sweeps whose points finish at very
+// different times, channel handoff serialises dispatch on the sender,
+// while an atomic fetch-add lets every worker self-serve.
 func forEach(n int, f func(i int)) {
 	workers := runtime.NumCPU()
 	if workers > n {
@@ -19,20 +23,20 @@ func forEach(n int, f func(i int)) {
 		}
 		return
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				f(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }

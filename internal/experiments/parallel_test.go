@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAll: every index is visited exactly once, for sizes
+// below, at, and well above the worker count.
+func TestForEachCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 301} {
+		counts := make([]int32, n)
+		forEach(n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times, want 1", n, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachUnevenWork: workers self-serve past slow items instead of
+// waiting on a dispatcher, so wildly uneven item costs still cover all.
+func TestForEachUnevenWork(t *testing.T) {
+	const n = 100
+	var total atomic.Int64
+	forEach(n, func(i int) {
+		if i == 0 {
+			for k := 0; k < 1_000_000; k++ {
+				_ = k * k
+			}
+		}
+		total.Add(int64(i))
+	})
+	if want := int64(n * (n - 1) / 2); total.Load() != want {
+		t.Fatalf("sum of visited indices = %d, want %d", total.Load(), want)
+	}
+}

@@ -6,13 +6,25 @@ import (
 	"repro/internal/traffic"
 )
 
-// BenchmarkStepIdle measures the simulator's fixed per-cycle cost on the
-// full 64-rack system with no traffic.
-func BenchmarkStepIdle(b *testing.B) {
+// BenchmarkNetworkStepIdle measures the simulator's fixed per-cycle cost on
+// the full 64-rack system with no traffic — what every idle cycle pays when
+// stepped rather than skipped.
+func BenchmarkNetworkStepIdle(b *testing.B) {
 	n := MustNew(DefaultConfig(), nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Step()
+	}
+}
+
+// BenchmarkNetworkFastForwardIdle measures RunTo across 10k idle cycles per
+// op on the power-aware system, where fast-forward hops from policy window
+// to policy window instead of stepping.
+func BenchmarkNetworkFastForwardIdle(b *testing.B) {
+	n := MustNew(DefaultConfig(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.RunTo(n.Now() + 10_000)
 	}
 }
 

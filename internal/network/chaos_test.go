@@ -30,11 +30,10 @@ func TestChaosRandomTransitions(t *testing.T) {
 			ch.PLink().RequestStep(n.Now(), dir)
 		}
 	}
-	// Quiesce: no further disturbances, let everything drain.
-	drainDeadline := n.Now() + 200_000
-	for n.Now() < drainDeadline && n.DeliveredPackets() < n.InjectedPackets() {
-		n.Step()
-	}
+	// Quiesce: no further disturbances, let everything drain. The open-loop
+	// generator keeps injecting, so this runs to the deadline; what matters
+	// is that the in-flight tail stays small.
+	n.RunUntilQuiescent(n.Now() + 200_000)
 
 	inj, del := n.InjectedPackets(), n.DeliveredPackets()
 	// The generator keeps injecting during the drain, so allow a small
@@ -69,10 +68,7 @@ func TestChaosOffLinks(t *testing.T) {
 			ch.PLink().RequestStep(n.Now(), -1)
 		}
 	}
-	deadline := n.Now() + 200_000
-	for n.Now() < deadline && n.DeliveredPackets() < n.InjectedPackets() {
-		n.Step()
-	}
+	n.RunUntilQuiescent(n.Now() + 200_000)
 	if inj, del := n.InjectedPackets(), n.DeliveredPackets(); inj-del > 100 {
 		t.Fatalf("off-link chaos wedged the network: injected %d delivered %d", inj, del)
 	}
@@ -121,7 +117,9 @@ func TestNICQueueLenReflectsBacklog(t *testing.T) {
 	if q := n.NICQueueLen(2); q < 40 {
 		t.Errorf("NIC queue %d, want most of the 50-packet burst", q)
 	}
-	n.RunTo(80_000)
+	if !n.RunUntilQuiescent(80_000) {
+		t.Fatalf("burst did not drain by cycle %d", n.Now())
+	}
 	if q := n.NICQueueLen(2); q != 0 {
 		t.Errorf("NIC queue %d after drain, want 0", q)
 	}
@@ -158,7 +156,9 @@ func TestAuditQuiescent(t *testing.T) {
 	cfg := smallConfig()
 	gen := &burstGen{node: 0, dst: 7, count: 20, size: 8}
 	n := MustNew(cfg, gen)
-	n.RunTo(100_000)
+	if !n.RunUntilQuiescent(100_000) {
+		t.Fatalf("setup: burst did not quiesce by cycle %d", n.Now())
+	}
 	if n.DeliveredPackets() != 20 {
 		t.Fatalf("setup: delivered %d of 20", n.DeliveredPackets())
 	}

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/policy"
 	"repro/internal/powerlink"
@@ -34,6 +35,18 @@ type Network struct {
 	spareNICs  []*NIC
 
 	now sim.Cycle
+
+	// nextPolicyTick caches the next cycle at which the policy controllers
+	// run (never when the network has none), replacing a per-cycle modulo
+	// and bounding how far fast-forward may skip.
+	nextPolicyTick sim.Cycle
+
+	// Fast-forward state: RunTo and RunUntilQuiescent skip idle gaps unless
+	// disabled (see SetFastForward). Skips and skipped cycles are counted
+	// for diagnostics and tests.
+	ffDisabled bool
+	ffSkips    int64
+	ffCycles   int64
 
 	// Measurement state.
 	measureFrom    sim.Cycle
@@ -200,6 +213,11 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 
 	if len(n.channels) != cfg.TotalLinks() {
 		return nil, fmt.Errorf("network: wired %d links, expected %d", len(n.channels), cfg.TotalLinks())
+	}
+
+	n.nextPolicyTick = neverCycle
+	if len(n.controllers) > 0 {
+		n.nextPolicyTick = cfg.Policy.Window
 	}
 
 	// Traffic sources.
@@ -399,20 +417,118 @@ func (n *Network) Step() {
 	n.spareOuts = outs[:0]
 
 	// 5. Policy windows.
-	if len(n.controllers) > 0 && now > 0 && now%n.cfg.Policy.Window == 0 {
+	if now == n.nextPolicyTick {
 		for _, c := range n.controllers {
 			c.Tick(now)
 		}
+		n.nextPolicyTick += n.cfg.Policy.Window
 	}
 
 	n.now = now + 1
 }
 
-// RunTo advances the simulation to cycle t.
+// neverCycle is a cycle no simulation reaches; used for "no next event".
+const neverCycle = sim.Cycle(math.MaxInt64)
+
+// nextWorkAt returns the earliest cycle in [n.now, limit] at which anything
+// can happen: a scheduled wheel event, a pending source injection, or a
+// policy-window tick. When the NIC and output work lists are empty, every
+// cycle before that point is a no-op and may be skipped.
+func (n *Network) nextWorkAt(limit sim.Cycle) sim.Cycle {
+	next := limit
+	if at, ok := n.wheel.NextEventAt(); ok && at < next {
+		next = at
+	}
+	if n.inj.len() > 0 && n.inj.top().at < next {
+		next = n.inj.top().at
+	}
+	if n.nextPolicyTick < next {
+		next = n.nextPolicyTick
+	}
+	if next < n.now {
+		next = n.now
+	}
+	return next
+}
+
+// skipIdleTo fast-forwards to the next cycle with work, bounded by limit.
+// It returns whether a skip happened. A skip is legal only when both work
+// lists are empty: then steps 3 and 4 of Step are no-ops, and the remaining
+// work sources (wheel events, injections, policy ticks) are all visible to
+// nextWorkAt. The powerlink energy/level accounting and the buffer
+// occupancy integrals take `now` lazily, so no per-link or per-buffer work
+// is needed on a skip — the skipped cycles are bit-identical to stepping.
+func (n *Network) skipIdleTo(limit sim.Cycle) bool {
+	if n.ffDisabled || len(n.activeNICs) > 0 || len(n.activeOuts) > 0 {
+		return false
+	}
+	// Under load an injection or policy tick is almost always due by the
+	// next cycle, and a one-cycle skip cannot pay for the wheel occupancy
+	// scan inside nextWorkAt. These O(1) peeks bail out before it.
+	if n.inj.len() > 0 && n.inj.top().at <= n.now+1 {
+		return false
+	}
+	if n.nextPolicyTick <= n.now+1 {
+		return false
+	}
+	next := n.nextWorkAt(limit)
+	if next <= n.now {
+		return false
+	}
+	// Keep the wheel's clock one cycle behind the network's, exactly as
+	// cycle-by-cycle stepping would leave it.
+	n.wheel.SkipTo(next - 1)
+	n.ffSkips++
+	n.ffCycles += int64(next - n.now)
+	n.now = next
+	return true
+}
+
+// RunTo advances the simulation to cycle t, fast-forwarding over idle gaps
+// (disable with SetFastForward(false) to force cycle-by-cycle stepping;
+// results are bit-identical either way).
 func (n *Network) RunTo(t sim.Cycle) {
 	for n.now < t {
+		if n.skipIdleTo(t) {
+			continue
+		}
 		n.Step()
 	}
+}
+
+// Quiescent reports whether the network has fully drained: the traffic
+// sources have no queued injections, every injected packet was delivered,
+// no events are scheduled, and no NIC or output holds work. A network with
+// an open-loop (infinite) generator never quiesces.
+func (n *Network) Quiescent() bool {
+	return n.inj.len() == 0 &&
+		n.deliveredPkts == n.injectedPkts &&
+		n.wheel.Pending() == 0 &&
+		len(n.activeNICs) == 0 && len(n.activeOuts) == 0
+}
+
+// RunUntilQuiescent advances the simulation until it quiesces or reaches
+// deadline, whichever comes first, and reports whether it quiesced. It
+// replaces hand-rolled drain loops: run traffic, then call this to let
+// in-flight packets, credit returns, and wake-ups settle.
+func (n *Network) RunUntilQuiescent(deadline sim.Cycle) bool {
+	for n.now < deadline && !n.Quiescent() {
+		if n.skipIdleTo(deadline) {
+			continue
+		}
+		n.Step()
+	}
+	return n.Quiescent()
+}
+
+// SetFastForward enables or disables idle-cycle skipping in RunTo and
+// RunUntilQuiescent (enabled by default). Step is always cycle-accurate.
+func (n *Network) SetFastForward(enabled bool) { n.ffDisabled = !enabled }
+
+// FastForwardStats returns how many idle skips RunTo has taken and how many
+// cycles they covered.
+func (n *Network) FastForwardStats() (skips, cycles int64) {
+	return n.ffSkips, n.ffCycles
 }
 
 // Now returns the current cycle.
@@ -534,13 +650,13 @@ func (n *Network) LevelHistogram() (levels []int, off int) {
 			continue
 		}
 		// Non-power-aware links have a single level; map it to the top of
-		// the configured ladder for reporting.
-		if ch.PLink().NumLevels() == 1 {
+		// the configured ladder for reporting. Links whose own ladder is
+		// longer than the configured one clamp to the top so every link is
+		// counted exactly once.
+		if ch.PLink().NumLevels() == 1 || lv >= len(levels) {
 			lv = len(levels) - 1
 		}
-		if lv < len(levels) {
-			levels[lv]++
-		}
+		levels[lv]++
 	}
 	return levels, off
 }

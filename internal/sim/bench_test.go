@@ -26,6 +26,31 @@ func BenchmarkWheelScheduleAdvance(b *testing.B) {
 	}
 }
 
+// BenchmarkWheelAdvanceIdle pins the cost of advancing one event-free
+// cycle — the operation fast-forward exists to avoid.
+func BenchmarkWheelAdvanceIdle(b *testing.B) {
+	w := NewWheel(4096)
+	// One far event beyond the horizon keeps the far-heap peek honest.
+	w.Schedule(Cycle(b.N)+10_000, func(Cycle) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Advance(Cycle(i))
+	}
+}
+
+// BenchmarkWheelNextEventAt measures the bitmap scan on a sparse wheel.
+func BenchmarkWheelNextEventAt(b *testing.B) {
+	w := NewWheel(4096)
+	w.Advance(0)
+	w.Schedule(4000, func(Cycle) {}) // near the end of the scan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := w.NextEventAt(); !ok {
+			b.Fatal("event lost")
+		}
+	}
+}
+
 func BenchmarkWheelFarEvents(b *testing.B) {
 	w := NewWheel(64)
 	nop := Event(func(Cycle) {})

@@ -1,6 +1,9 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"math/bits"
+)
 
 // Event is a callback fired at a scheduled cycle. Events must not schedule
 // into the past.
@@ -10,8 +13,13 @@ type Event func(now Cycle)
 // far-future ones. Almost all simulator events (flit arrivals, channel
 // free, credit returns) land within a few cycles; the wheel makes those
 // O(1). Longer waits (CDR relock, link wake-up) spill into the heap.
+//
+// A per-bucket occupancy bitmap (one bit per bucket) makes NextEventAt a
+// few word scans, which is what lets the surrounding simulator fast-forward
+// over idle gaps instead of advancing cycle by cycle.
 type Wheel struct {
 	buckets   [][]Event
+	occ       []uint64 // bit b set iff buckets[b] is non-empty
 	mask      Cycle
 	now       Cycle
 	horizon   Cycle
@@ -27,6 +35,7 @@ func NewWheel(size int) *Wheel {
 	}
 	return &Wheel{
 		buckets: make([][]Event, size),
+		occ:     make([]uint64, (size+63)/64),
 		mask:    Cycle(size - 1),
 		horizon: Cycle(size),
 	}
@@ -51,14 +60,15 @@ func (w *Wheel) Schedule(at Cycle, ev Event) {
 	}
 	idx := at & w.mask
 	w.buckets[idx] = append(w.buckets[idx], ev)
+	w.occ[idx>>6] |= 1 << (uint(idx) & 63)
 }
 
 // Advance runs every event scheduled for cycle now. Cycles must be
-// presented consecutively (every cycle advanced exactly once, in order).
+// presented in increasing order; gaps are allowed only when every skipped
+// cycle is known to be event-free (see NextEventAt and SkipTo).
 func (w *Wheel) Advance(now Cycle) {
 	w.now = now
 	w.advancing = true
-	defer func() { w.advancing = false }()
 	// Pull matured far events into the current bucket first.
 	for len(w.far) > 0 && w.far[0].at <= now {
 		fe := heap.Pop(&w.far).(farEvent)
@@ -66,8 +76,8 @@ func (w *Wheel) Advance(now Cycle) {
 		fe.ev(now)
 	}
 	idx := now & w.mask
-	bucket := w.buckets[idx]
-	if len(bucket) == 0 {
+	if len(w.buckets[idx]) == 0 {
+		w.advancing = false
 		return
 	}
 	// Events may schedule new events for this same cycle; they land in the
@@ -79,6 +89,64 @@ func (w *Wheel) Advance(now Cycle) {
 		ev(now)
 	}
 	w.buckets[idx] = w.buckets[idx][:0]
+	w.occ[idx>>6] &^= 1 << (uint(idx) & 63)
+	w.advancing = false
+}
+
+// SkipTo declares every cycle in (w.now, now] event-free and jumps the
+// wheel's clock to now without touching the skipped buckets. The caller
+// must have verified — via NextEventAt — that no event is scheduled at or
+// before now; skipping past a scheduled event corrupts the wheel. No-op
+// when now <= w.now.
+func (w *Wheel) SkipTo(now Cycle) {
+	if now > w.now {
+		w.now = now
+	}
+}
+
+// NextEventAt returns the earliest cycle with a scheduled event and true,
+// or false when the wheel is empty. It scans the occupancy bitmap (one bit
+// per bucket, size/64 words) and peeks the far heap's top, so an idle
+// simulator can find its next wake-up in a handful of word operations.
+func (w *Wheel) NextEventAt() (Cycle, bool) {
+	next, found := w.nextNear()
+	if len(w.far) > 0 && (!found || w.far[0].at < next) {
+		next, found = w.far[0].at, true
+	}
+	return next, found
+}
+
+// nextNear locates the earliest occupied bucket in circular order starting
+// just after the current cycle. All bucketed events live in
+// (w.now, w.now+horizon), so the first set bit along that arc is the
+// nearest event.
+func (w *Wheel) nextNear() (Cycle, bool) {
+	start := int((w.now + 1) & w.mask)
+	sw, sb := start>>6, uint(start&63)
+	// Bits at or after start within the first word.
+	if word := w.occ[sw] &^ (1<<sb - 1); word != 0 {
+		return w.cycleFor(sw<<6 + bits.TrailingZeros64(word)), true
+	}
+	// Whole words along the arc.
+	for j := 1; j < len(w.occ); j++ {
+		wi := (sw + j) % len(w.occ)
+		if word := w.occ[wi]; word != 0 {
+			return w.cycleFor(wi<<6 + bits.TrailingZeros64(word)), true
+		}
+	}
+	// Wrap-around: bits before start within the first word.
+	if word := w.occ[sw] & (1<<sb - 1); word != 0 {
+		return w.cycleFor(sw<<6 + bits.TrailingZeros64(word)), true
+	}
+	return 0, false
+}
+
+// cycleFor maps an occupied bucket index back to the absolute cycle it
+// holds events for.
+func (w *Wheel) cycleFor(idx int) Cycle {
+	size := int(w.mask) + 1
+	d := (idx - int((w.now+1)&w.mask) + size) % size
+	return w.now + 1 + Cycle(d)
 }
 
 // Pending returns the number of scheduled events not yet fired. A drained

@@ -103,6 +103,127 @@ func TestWheelBadSizePanics(t *testing.T) {
 	}
 }
 
+func TestWheelNextEventAtEmpty(t *testing.T) {
+	w := NewWheel(16)
+	if at, ok := w.NextEventAt(); ok {
+		t.Errorf("empty wheel reported next event at %d", at)
+	}
+	w.Advance(5)
+	if _, ok := w.NextEventAt(); ok {
+		t.Error("empty wheel reported a next event after Advance")
+	}
+}
+
+func TestWheelNextEventAtNear(t *testing.T) {
+	w := NewWheel(16)
+	nop := Event(func(Cycle) {})
+	w.Advance(0)
+	w.Schedule(7, nop)
+	w.Schedule(12, nop)
+	if at, ok := w.NextEventAt(); !ok || at != 7 {
+		t.Errorf("NextEventAt = %d,%v, want 7,true", at, ok)
+	}
+	// After the first event fires, the next is 12.
+	for c := Cycle(1); c <= 7; c++ {
+		w.Advance(c)
+	}
+	if at, ok := w.NextEventAt(); !ok || at != 12 {
+		t.Errorf("NextEventAt = %d,%v, want 12,true", at, ok)
+	}
+}
+
+func TestWheelNextEventAtWrap(t *testing.T) {
+	// The occupied bucket index is numerically below the current bucket
+	// index: the circular scan must wrap and still find the nearest cycle.
+	w := NewWheel(16)
+	nop := Event(func(Cycle) {})
+	for c := Cycle(0); c <= 13; c++ {
+		w.Advance(c)
+	}
+	w.Schedule(17, nop) // bucket 1, current bucket 13
+	if at, ok := w.NextEventAt(); !ok || at != 17 {
+		t.Errorf("NextEventAt = %d,%v, want 17,true", at, ok)
+	}
+}
+
+func TestWheelNextEventAtFar(t *testing.T) {
+	w := NewWheel(16)
+	nop := Event(func(Cycle) {})
+	w.Schedule(1000, nop)
+	if at, ok := w.NextEventAt(); !ok || at != 1000 {
+		t.Errorf("NextEventAt = %d,%v, want 1000,true (far heap)", at, ok)
+	}
+	// A nearer bucketed event wins over the far top.
+	w.Schedule(9, nop)
+	if at, ok := w.NextEventAt(); !ok || at != 9 {
+		t.Errorf("NextEventAt = %d,%v, want 9,true", at, ok)
+	}
+}
+
+func TestWheelSkipToAdvance(t *testing.T) {
+	// Skipping over a verified-empty gap then advancing at the next event
+	// cycle fires the event exactly as consecutive stepping would.
+	w := NewWheel(16)
+	fired := Cycle(-1)
+	w.Advance(0)
+	w.Schedule(9, func(now Cycle) { fired = now })
+	at, ok := w.NextEventAt()
+	if !ok || at != 9 {
+		t.Fatalf("NextEventAt = %d,%v, want 9,true", at, ok)
+	}
+	w.SkipTo(at - 1)
+	w.Advance(at)
+	if fired != 9 {
+		t.Errorf("event fired at %d, want 9", fired)
+	}
+	// After the skip, deferred past-scheduling still lands at now+1.
+	deferred := Cycle(-1)
+	w.Schedule(2, func(now Cycle) { deferred = now })
+	w.Advance(10)
+	if deferred != 10 {
+		t.Errorf("past schedule after skip fired at %d, want 10", deferred)
+	}
+}
+
+// TestWheelSkipEquivalence: advancing only at NextEventAt cycles (skipping
+// the gaps) fires every event at the same cycle as consecutive stepping.
+func TestWheelSkipEquivalence(t *testing.T) {
+	run := func(skip bool) map[int]Cycle {
+		r := NewRNG(42)
+		w := NewWheel(32)
+		got := map[int]Cycle{}
+		for i := 0; i < 100; i++ {
+			id := i
+			at := Cycle(1 + r.Intn(500))
+			w.Schedule(at, func(fireAt Cycle) { got[id] = fireAt })
+		}
+		now := Cycle(0)
+		for now < 600 {
+			if skip {
+				at, ok := w.NextEventAt()
+				if !ok || at > 600 {
+					break
+				}
+				w.SkipTo(at - 1)
+				now = at
+			} else {
+				now++
+			}
+			w.Advance(now)
+		}
+		return got
+	}
+	stepped, skipped := run(false), run(true)
+	if len(stepped) != 100 || len(skipped) != 100 {
+		t.Fatalf("fired %d stepped, %d skipped, want 100 each", len(stepped), len(skipped))
+	}
+	for id, at := range stepped {
+		if skipped[id] != at {
+			t.Errorf("event %d: stepped fired at %d, skipped at %d", id, at, skipped[id])
+		}
+	}
+}
+
 // TestWheelPropertyAllFire: random schedules all fire exactly once at
 // their scheduled cycle.
 func TestWheelPropertyAllFire(t *testing.T) {
