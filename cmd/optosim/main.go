@@ -10,9 +10,10 @@
 //	optosim -full all
 //
 // Experiments: table2, fig5window, fig5threshold, fig5g, fig5h, fig6,
-// fig7, table3, table3-nodefixed, throughput, patterns, and the ablations
-// ablation-{lu,n,bu,levels,onoff,predictor,routing}. With -svg DIR, the
-// figure-shaped experiments also write SVG charts.
+// fig7, table3, table3-nodefixed, throughput, patterns, faults, and the
+// ablations ablation-{lu,n,bu,levels,onoff,predictor,routing}. With -svg
+// DIR, the figure-shaped experiments also write SVG charts. The faults
+// experiment takes the -fault.* flags to parameterise the injector.
 package main
 
 import (
@@ -23,9 +24,39 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// Fault-injection knobs for the "faults" experiment (see internal/fault).
+var (
+	faultBERScale = flag.Float64("fault.berscale", 1, "scale factor on each link's margin-derived bit error rate")
+	faultBERFloor = flag.Float64("fault.berfloor", 5e-5, "minimum per-bit error rate regardless of optical margin")
+	faultRelock   = flag.Float64("fault.relock", 0.1, "probability that a CDR relock fails after a frequency switch")
+	faultFailLink = flag.Int("fault.faillink", 0, "link index for one hard failure window (-1 for none)")
+	faultFailAt   = flag.Int64("fault.failat", 10_000, "cycle at which the hard failure begins")
+	faultFailFor  = flag.Int64("fault.failfor", 5_000, "length of the hard failure window in cycles")
+)
+
+// faultConfigFromFlags assembles the injector configuration the "faults"
+// experiment runs with.
+func faultConfigFromFlags() fault.Config {
+	fc := fault.Config{
+		BERScale:       *faultBERScale,
+		BERFloor:       *faultBERFloor,
+		RelockFailProb: *faultRelock,
+	}
+	if *faultFailLink >= 0 && *faultFailFor > 0 {
+		fc.LinkFailures = []fault.LinkFailure{{
+			Link:     *faultFailLink,
+			At:       sim.Cycle(*faultFailAt),
+			RepairAt: sim.Cycle(*faultFailAt + *faultFailFor),
+		}}
+	}
+	return fc
+}
 
 // output bundles an experiment's renderings: text tables always, SVG
 // charts for the figure-shaped experiments (written when -svg is given).
@@ -141,6 +172,13 @@ func registry() map[string]runner {
 				rs = append(rs, r)
 			}
 			return output{tables: []*report.Table{experiments.ReplicateReport(rs)}}, nil
+		},
+		"faults": func(s experiments.Scale) (output, error) {
+			rows, err := experiments.Faults(s, faultConfigFromFlags())
+			if err != nil {
+				return output{}, err
+			}
+			return output{tables: []*report.Table{experiments.FaultsReport(rows)}}, nil
 		},
 		"throughput": func(s experiments.Scale) (output, error) {
 			rs, err := experiments.Throughput(s)

@@ -66,9 +66,15 @@ func (n *Network) Audit() error {
 			}
 			up := n.routers[r].Output(cfg.meshPort(h[0]))
 			down := n.routers[h[2]]
+			// With link-level reliability, flits granted (credits held)
+			// but not yet delivered — corrupted, lost to a down window,
+			// or awaiting replay — widen the bracket. OutstandingFlits
+			// counts them across VCs, so apply it to each VC's bound
+			// conservatively; the upper bound (no credit re-materialises,
+			// no flit delivered twice) stays exact.
+			slack := 3 + up.Channel().OutstandingFlits()
 			for v := 0; v < cfg.VCs; v++ {
 				sum := up.Credits(v) + down.InputBuffer(cfg.meshPort(h[1]), v).Len()
-				const slack = 3
 				if sum > cfg.BufDepth || sum < cfg.BufDepth-slack {
 					return fmt.Errorf("network: link router %d dir %d vc %d: credits+occupancy = %d, want within [%d,%d]",
 						r, h[0], v, sum, cfg.BufDepth-slack, cfg.BufDepth)

@@ -3,6 +3,7 @@ package network
 import (
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 )
@@ -10,12 +11,14 @@ import (
 // TestChaosRandomTransitions injects failure-like disturbances: random
 // bit-rate step requests are forced onto random links (bypassing the
 // policy) while traffic flows. Flow control must hold: no packet is lost,
-// duplicated, or wedged, and flit conservation is exact.
+// duplicated, or wedged, and flit conservation is exact. The generator is
+// stoppable, so after the chaos phase the network must drain exactly —
+// every injected packet delivered, not one more, not one less.
 func TestChaosRandomTransitions(t *testing.T) {
 	cfg := smallConfig()
 	cfg.PowerAware = false // disable policy so chaos owns the levels
 	cfg.Link.LevelRates = []float64{5, 6, 7, 8, 9, 10}
-	gen := traffic.NewUniform(cfg.Nodes(), 0.3, 5)
+	gen := traffic.NewStoppable(traffic.NewUniform(cfg.Nodes(), 0.3, 5))
 	n := MustNew(cfg, gen)
 	chaos := sim.NewRNG(99)
 
@@ -30,19 +33,20 @@ func TestChaosRandomTransitions(t *testing.T) {
 			ch.PLink().RequestStep(n.Now(), dir)
 		}
 	}
-	// Quiesce: no further disturbances, let everything drain. The open-loop
-	// generator keeps injecting, so this runs to the deadline; what matters
-	// is that the in-flight tail stays small.
-	n.RunUntilQuiescent(n.Now() + 200_000)
-
-	inj, del := n.InjectedPackets(), n.DeliveredPackets()
-	// The generator keeps injecting during the drain, so allow a small
-	// in-flight tail but no wedge.
-	if inj-del > 100 {
-		t.Fatalf("chaos wedged the network: injected %d, delivered %d", inj, del)
+	// Quiesce: stop injection, no further disturbances, drain everything.
+	gen.Stop()
+	if !n.RunUntilQuiescent(n.Now() + 200_000) {
+		t.Fatalf("chaos wedged the network: not quiescent by cycle %d (injected %d, delivered %d)",
+			n.Now(), n.InjectedPackets(), n.DeliveredPackets())
 	}
-	if del == 0 {
+	if inj, del := n.InjectedPackets(), n.DeliveredPackets(); inj != del {
+		t.Fatalf("exact drain violated: injected %d, delivered %d", inj, del)
+	}
+	if n.DeliveredPackets() == 0 {
 		t.Fatal("nothing delivered under chaos")
+	}
+	if err := n.Audit(); err != nil {
+		t.Fatalf("audit after drain: %v", err)
 	}
 }
 
@@ -56,7 +60,7 @@ func TestChaosOffLinks(t *testing.T) {
 	cfg.Link.OffEnabled = true
 	cfg.Link.OffPowerW = 1e-3
 	cfg.Link.OffWakeCycles = 200
-	gen := traffic.NewUniform(cfg.Nodes(), 0.2, 5)
+	gen := traffic.NewStoppable(traffic.NewUniform(cfg.Nodes(), 0.2, 5))
 	n := MustNew(cfg, gen)
 	chaos := sim.NewRNG(7)
 
@@ -68,9 +72,13 @@ func TestChaosOffLinks(t *testing.T) {
 			ch.PLink().RequestStep(n.Now(), -1)
 		}
 	}
-	n.RunUntilQuiescent(n.Now() + 200_000)
-	if inj, del := n.InjectedPackets(), n.DeliveredPackets(); inj-del > 100 {
-		t.Fatalf("off-link chaos wedged the network: injected %d delivered %d", inj, del)
+	gen.Stop()
+	if !n.RunUntilQuiescent(n.Now() + 200_000) {
+		t.Fatalf("off-link chaos wedged the network: not quiescent by cycle %d (injected %d, delivered %d)",
+			n.Now(), n.InjectedPackets(), n.DeliveredPackets())
+	}
+	if inj, del := n.InjectedPackets(), n.DeliveredPackets(); inj != del {
+		t.Fatalf("exact drain violated: injected %d delivered %d", inj, del)
 	}
 }
 
@@ -126,9 +134,16 @@ func TestNICQueueLenReflectsBacklog(t *testing.T) {
 }
 
 // TestAuditDuringChaos runs the conservation audit repeatedly while
-// traffic flows and random transitions fire.
+// traffic flows, random transitions fire, and the fault injector corrupts
+// flits, fails relocks, and takes a link hard-down — so audits observe
+// links mid-replay, mid-retry-backoff, and inside a failure window.
 func TestAuditDuringChaos(t *testing.T) {
 	cfg := smallConfig()
+	cfg.Fault = fault.Config{
+		BERFloor:       2e-4, // ~0.3% per-flit corruption: constant replay
+		RelockFailProb: 0.3,
+		LinkFailures:   []fault.LinkFailure{{Link: 2, At: 8_000, RepairAt: 14_000}},
+	}
 	gen := traffic.NewUniform(cfg.Nodes(), 0.3, 5)
 	n := MustNew(cfg, gen)
 	chaos := sim.NewRNG(3)
@@ -147,6 +162,10 @@ func TestAuditDuringChaos(t *testing.T) {
 				t.Fatalf("audit failed at cycle %d: %v", n.Now(), err)
 			}
 		}
+	}
+	rel := n.FaultStats()
+	if rel.CorruptedFlits == 0 || rel.Retransmits == 0 {
+		t.Errorf("fault injection inactive during audit chaos: %+v", rel)
 	}
 }
 

@@ -8,6 +8,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/linkmodel"
 	"repro/internal/policy"
 	"repro/internal/powerlink"
@@ -72,8 +73,15 @@ type Config struct {
 	// Policy parameterises the per-link controllers (ignored when
 	// !PowerAware).
 	Policy policy.Config
-	// Seed drives all stochastic traffic decisions.
+	// Seed drives every stochastic subsystem. Traffic, fault injection,
+	// and routing draw from independent streams derived from it (see
+	// sim.NewStream), so enabling one never perturbs the others.
 	Seed uint64
+	// Fault configures fault injection and the link-level retransmission
+	// protocol. The zero value disables both: no injector is wired, every
+	// channel runs the historical lossless path, and results are
+	// bit-identical to a build without the fault layer.
+	Fault fault.Config
 }
 
 // DefaultConfig returns the paper's system: 64 racks in an 8×8 mesh, 8
@@ -121,6 +129,14 @@ func (c Config) Validate() error {
 	if c.PowerAware {
 		if err := c.Policy.Validate(); err != nil {
 			return err
+		}
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	for _, w := range c.Fault.LinkFailures {
+		if w.Link >= c.TotalLinks() {
+			return fmt.Errorf("network: fault on link %d, but the system has only %d links", w.Link, c.TotalLinks())
 		}
 	}
 	return nil

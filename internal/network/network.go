@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/policy"
 	"repro/internal/powerlink"
 	"repro/internal/router"
@@ -28,6 +29,15 @@ type Network struct {
 	gen  traffic.Generator
 	rngs []*sim.RNG
 	inj  injHeap
+
+	// routeRNG is the derived stream reserved for randomized routing
+	// decisions (sim.StreamRouting). The built-in routing functions are
+	// deterministic and draw nothing, but any future randomized routing
+	// must draw here so it cannot perturb traffic or fault draws.
+	routeRNG *sim.RNG
+
+	// injector is the fault injector, nil unless cfg.Fault is enabled.
+	injector *fault.Injector
 
 	activeOuts []*router.Output
 	activeNICs []*NIC
@@ -220,9 +230,37 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 		n.nextPolicyTick = cfg.Policy.Window
 	}
 
-	// Traffic sources.
+	// Fault injection + link-level reliability. The injector draws from
+	// its own seed stream, so a disabled config leaves every other draw —
+	// and therefore every result — bit-identical.
+	if cfg.Fault.Enabled() {
+		fc := cfg.Fault.WithDefaults()
+		inj, err := fault.NewInjector(fc, sim.NewStream(cfg.Seed, sim.StreamFault).Uint64())
+		if err != nil {
+			return nil, err
+		}
+		n.injector = inj
+		for i, ch := range n.channels {
+			inj.Bind(i, ch.PLink())
+			ch.EnableReliability(router.ReliabilityConfig{
+				Source:      inj,
+				Link:        i,
+				Window:      fc.WindowSize,
+				AckDelay:    fc.AckDelay,
+				Timeout:     fc.RetxTimeout,
+				MaxRetries:  fc.MaxRetries,
+				ResetCycles: fc.ResetCycles,
+			})
+			if fc.RelockFailProb > 0 {
+				ch.PLink().SetRelockFaults(inj.Relock(i), fc.MaxRelockRetries)
+			}
+		}
+	}
+
+	// Traffic sources. The master generator is stream 0 of the seed —
+	// byte-identical to the pre-stream NewRNG(seed) derivation.
 	if gen != nil {
-		master := sim.NewRNG(cfg.Seed)
+		master := sim.NewStream(cfg.Seed, sim.StreamTraffic)
 		n.rngs = make([]*sim.RNG, nodes)
 		for node := 0; node < nodes; node++ {
 			n.rngs[node] = master.Fork()
@@ -233,6 +271,7 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 			}
 		}
 	}
+	n.routeRNG = sim.NewStream(cfg.Seed, sim.StreamRouting)
 	return n, nil
 }
 
@@ -619,6 +658,49 @@ func (n *Network) FabricEnergyJ() float64 {
 		e += ch.PLink().EnergyJ(n.now)
 	}
 	return e
+}
+
+// Injector returns the fault injector, or nil when faults are disabled.
+func (n *Network) Injector() *fault.Injector { return n.injector }
+
+// RouteRNG returns the stream reserved for randomized routing decisions.
+func (n *Network) RouteRNG() *sim.RNG { return n.routeRNG }
+
+// FaultStats aggregates the reliability counters of every channel plus the
+// injector into one snapshot (zero value when faults are disabled).
+func (n *Network) FaultStats() stats.Reliability {
+	var r stats.Reliability
+	if n.injector != nil {
+		is := n.injector.Stats()
+		r.CorruptedFlits = is.CorruptedFlits
+		r.RelockFailures = is.RelockFailures
+	}
+	for _, ch := range n.channels {
+		cs := ch.RelStats()
+		r.CrcDrops += cs.Corrupted
+		r.LostToDown += cs.LostToDown
+		r.Retransmits += cs.Retransmits
+		r.Nacks += cs.Nacks
+		r.Timeouts += cs.Timeouts
+		r.Escalations += cs.Escalations
+		r.Duplicates += cs.Duplicates
+		if ch.DownAt(n.now) {
+			r.DownLinks++
+		}
+	}
+	return r
+}
+
+// DownLinks returns how many links are hard-down at the current cycle
+// (scheduled failure windows plus escalated resets).
+func (n *Network) DownLinks() int {
+	var d int
+	for _, ch := range n.channels {
+		if ch.DownAt(n.now) {
+			d++
+		}
+	}
+	return d
 }
 
 // Routers exposes the routers for diagnostics and tests.

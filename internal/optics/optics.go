@@ -144,6 +144,17 @@ func BERFromQ(q float64) float64 {
 	return 0.5 * math.Erfc(q/math.Sqrt2)
 }
 
+// BERAtMargin returns the expected bit error rate of a receiver operating
+// marginDB above (negative: below) the sensitivity that yields targetBER,
+// in the thermal-noise-limited regime where the Q factor scales linearly
+// with received optical power. At zero margin the link runs exactly at the
+// target BER; each dB of eroded margin multiplies Q by 10^(-1/10) and the
+// BER grows super-exponentially — which is why power-aware links that shave
+// optical power must watch their margin.
+func BERAtMargin(targetBER, marginDB float64) float64 {
+	return BERFromQ(QFromBER(targetBER) * FromDB(marginDB))
+}
+
 // SensitivityW returns the receiver sensitivity (W) required for a target
 // BER at a given bit rate, in the thermal-noise-limited regime where the
 // required optical power scales linearly with bit rate:

@@ -159,6 +159,11 @@ type Config struct {
 	// EWMAAlpha is the smoothing factor when Predictor is PredictEWMA
 	// (0 < α <= 1; higher = more reactive). Ignored otherwise.
 	EWMAAlpha float64
+	// MaxBER, when positive, is the reliability guard: a StepUp whose
+	// target level's margin-projected bit error rate
+	// (powerlink.ProjectedBER) exceeds MaxBER is refused and counted in
+	// Stats.Guarded. Zero disables the guard (historical behaviour).
+	MaxBER float64
 }
 
 // Predictor selects the workload predictor fed by per-window utilisation.
@@ -200,6 +205,9 @@ func (c Config) Validate() error {
 	if c.Predictor == PredictEWMA && (c.EWMAAlpha <= 0 || c.EWMAAlpha > 1) {
 		return fmt.Errorf("policy: EWMAAlpha %g outside (0,1]", c.EWMAAlpha)
 	}
+	if c.MaxBER < 0 || c.MaxBER > 1 {
+		return fmt.Errorf("policy: MaxBER %g outside [0,1]", c.MaxBER)
+	}
 	return c.Thresholds.Validate()
 }
 
@@ -235,6 +243,7 @@ type Stats struct {
 	Downs     int
 	Holds     int
 	Rejected  int // steps the link refused (extreme level or mid-transition)
+	Guarded   int // StepUps refused by the MaxBER reliability guard
 	PdecCount int
 }
 
@@ -360,6 +369,12 @@ func (c *Controller) Tick(now sim.Cycle) Decision {
 
 	switch decision {
 	case StepUp:
+		if c.berGuardBlocks(now) {
+			// The next level's projected BER is unacceptable: running
+			// faster would trade energy for retransmissions. Hold.
+			c.stats.Guarded++
+			break
+		}
 		c.stats.Ups++
 		if !c.link.RequestStep(now, +1) {
 			c.stats.Rejected++
@@ -375,6 +390,22 @@ func (c *Controller) Tick(now sim.Cycle) Decision {
 
 	c.laserTick(now)
 	return decision
+}
+
+// berGuardBlocks reports whether the MaxBER reliability guard refuses a
+// step up at now: the target level's margin-projected BER is worse than the
+// configured ceiling. Waking an off link is never blocked (level 0 is the
+// most robust operating point), and out-of-range targets are left for the
+// link to reject.
+func (c *Controller) berGuardBlocks(now sim.Cycle) bool {
+	if c.cfg.MaxBER <= 0 {
+		return false
+	}
+	lv := c.link.Level(now)
+	if lv < 0 || lv+1 >= c.link.NumLevels() {
+		return false
+	}
+	return c.link.ProjectedBER(now, lv+1) > c.cfg.MaxBER
 }
 
 // laserTick implements the external laser source controller: every

@@ -335,3 +335,94 @@ func TestEjectionLinkNoBuffer(t *testing.T) {
 		t.Errorf("sink-terminated link with Lu=0.65: %v, want StepUp (uncongested)", d)
 	}
 }
+
+// lossyLink is testLink with enough optical path loss that every bit rate's
+// margin is deeply negative — the projected BER saturates near 0.5.
+func lossyLink() *powerlink.Link {
+	return powerlink.MustNew(powerlink.Config{
+		Scheme:     linkmodel.SchemeVCSEL,
+		Params:     linkmodel.DefaultParams(),
+		LevelRates: powerlink.Levels(5, 10, 6),
+		Tbr:        20,
+		Tv:         100,
+		PathLossDB: 40,
+	})
+}
+
+// TestBERGuardBlocksStepUp: with MaxBER set and a lossy path, a saturated
+// link must NOT be stepped up — the guard refuses the transition and counts
+// it, and the level holds.
+func TestBERGuardBlocksStepUp(t *testing.T) {
+	link := lossyLink()
+	cfg := cfgN1()
+	cfg.MaxBER = 1e-9
+	src := &fakeSource{cap: 16}
+	c, err := NewController(cfg, link, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step down once (idle window) so there is headroom to climb back.
+	now := c.Window()
+	c.Tick(now)
+	now += 200 // let the downward transition complete
+	if got := link.Level(now); got != 4 {
+		t.Fatalf("setup: level %d, want 4", got)
+	}
+	// Saturate. The raw policy wants StepUp every window; the guard must
+	// hold the level.
+	for i := 0; i < 4; i++ {
+		src.addWindow(0.9, 0.1, c.Window(), 16)
+		now += c.Window()
+		c.Tick(now)
+	}
+	if got := link.Level(now + 200); got != 4 {
+		t.Errorf("guard failed: lossy link climbed to level %d", got)
+	}
+	if g := c.Stats().Guarded; g == 0 {
+		t.Error("no guarded StepUps counted")
+	}
+	if c.Stats().Rejected != 0 {
+		t.Errorf("%d transitions reached the link despite the guard", c.Stats().Rejected)
+	}
+}
+
+// TestBERGuardDisabledClimbs: the same lossy link with MaxBER = 0 climbs
+// back to the top — the zero value preserves historical behaviour.
+func TestBERGuardDisabledClimbs(t *testing.T) {
+	link := lossyLink()
+	src := &fakeSource{cap: 16}
+	c, err := NewController(cfgN1(), link, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := c.Window()
+	c.Tick(now)
+	now += 200
+	if got := link.Level(now); got != 4 {
+		t.Fatalf("setup: level %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		src.addWindow(0.9, 0.1, c.Window(), 16)
+		now += c.Window()
+		c.Tick(now)
+	}
+	if got := link.Level(now + 200); got != 5 {
+		t.Errorf("MaxBER=0 link stuck at level %d, want 5", got)
+	}
+	if g := c.Stats().Guarded; g != 0 {
+		t.Errorf("guard fired %d times with MaxBER=0", g)
+	}
+}
+
+// TestBERGuardValidation: MaxBER outside [0,1] is rejected.
+func TestBERGuardValidation(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.MaxBER = -1e-9
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative MaxBER accepted")
+	}
+	cfg.MaxBER = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("MaxBER > 1 accepted")
+	}
+}

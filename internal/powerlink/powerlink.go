@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"repro/internal/linkmodel"
+	"repro/internal/optics"
 	"repro/internal/sim"
 )
 
@@ -103,6 +104,12 @@ type Config struct {
 	OffEnabled    bool
 	OffPowerW     float64
 	OffWakeCycles sim.Cycle
+	// PathLossDB is the optical loss (dB) between the transmitter's output
+	// and the receiver's photodetector — coupling, connectors, fibre. It
+	// erodes the receiver margin that ReceiverMarginDB/ProjectedBER report,
+	// and through them the fault injector's corruption rate. Zero (the
+	// default) models the paper's idealized lossless path.
+	PathLossDB float64
 }
 
 // Validate reports configuration errors.
@@ -120,6 +127,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Tbr < 0 || c.Tv < 0 {
 		return fmt.Errorf("powerlink: negative transition delay (Tbr=%d Tv=%d)", c.Tbr, c.Tv)
+	}
+	if c.PathLossDB < 0 {
+		return fmt.Errorf("powerlink: negative path loss %g dB", c.PathLossDB)
 	}
 	if c.Optical != nil {
 		o := c.Optical
@@ -199,6 +209,31 @@ type Link struct {
 	transitions int
 	lastLevelT  sim.Cycle
 	disabledFor sim.Cycle // total cycles spent with the link disabled
+
+	// CDR relock fault injection (nil = relocks always succeed).
+	relock      RelockFaults
+	relockMax   int
+	relockRetry int
+	relockFails int
+}
+
+// RelockFaults abstracts the fault injector's CDR relock decision: each
+// frequency-switch completion asks it whether the receiver's clock-and-data
+// recovery failed to relock, in which case the Tbr disable extends with
+// bounded exponential backoff. Implementations must be deterministic per
+// link (the injector uses a per-link RNG stream) so that lazy state-machine
+// evaluation — whose timing depends on when the link is next observed —
+// cannot change outcomes.
+type RelockFaults interface {
+	RelockFails() bool
+}
+
+// SetRelockFaults installs a relock fault source. After maxRetries
+// consecutive failures the relock is forced to succeed (the backoff is
+// bounded); each retry doubles the disable time.
+func (l *Link) SetRelockFaults(f RelockFaults, maxRetries int) {
+	l.relock = f
+	l.relockMax = maxRetries
 }
 
 // New returns a link in steady state at the highest level with full optical
@@ -315,6 +350,17 @@ func (l *Link) advance(now sim.Cycle) {
 		case phaseVoltUp:
 			l.setPhase(phaseFreqSwitch, end+l.cfg.Tbr)
 		case phaseFreqSwitch:
+			// The frequency has switched; the receiver's CDR must relock
+			// before the link is usable. A fault-injected relock failure
+			// extends the disable with doubled backoff, bounded by
+			// relockMax consecutive retries.
+			if l.relock != nil && l.relockRetry < l.relockMax && l.relock.RelockFails() {
+				l.relockRetry++
+				l.relockFails++
+				l.setPhase(phaseFreqSwitch, end+l.cfg.Tbr<<uint(l.relockRetry))
+				continue
+			}
+			l.relockRetry = 0
 			old := l.level
 			decrease := l.target < l.level
 			l.level = l.target
@@ -511,6 +557,64 @@ func (l *Link) CouldUseLowerOptical(now sim.Cycle) bool {
 	return l.cfg.Optical.RequiredLevel(l.cfg.LevelRates[lvl]) < l.opticalLevel
 }
 
+// MarginDBAt returns the receiver's optical margin (dB) the link would have
+// operating at electrical level lv: received power over the sensitivity the
+// target BER of 1e-12 requires at lv's bit rate. The received power uses
+// the optical level the link would run at (the current one, raised as a
+// rate increase would force), the transmitter's emitted power (VCSEL: set
+// by the scaled supply; modulator: the attenuator level after insertion
+// loss), and Config.PathLossDB. Power-aware operation erodes this margin
+// from both sides: higher bit rates need more light, and lower optical
+// levels deliver less.
+func (l *Link) MarginDBAt(now sim.Cycle, lv int) float64 {
+	l.advance(now)
+	if lv < 0 || lv >= len(l.cfg.LevelRates) {
+		return math.Inf(-1)
+	}
+	rate := l.cfg.LevelRates[lv]
+	p := &l.cfg.Params
+	var txW float64
+	if l.cfg.Scheme == linkmodel.SchemeModulator {
+		inW := p.ModInputOpticalW
+		if l.cfg.Optical != nil {
+			opt := l.cfg.Optical.RequiredLevel(rate)
+			if l.opticalLevel > opt {
+				opt = l.opticalLevel
+			}
+			inW = l.cfg.Optical.PowersW[opt]
+		}
+		txW = inW * (1 - p.ModInsertionLoss)
+	} else {
+		// VCSEL: average emitted power at the drive current the scaled
+		// supply sustains (Eq. 1 with I = Ibias + Im(Vdd)/2).
+		vdd := p.VddAt(rate)
+		txW = p.EmittedOpticalPower(p.VCSELIbias + p.VCSELIm*vdd/p.VddMax/2)
+	}
+	rxW := txW * optics.FromDB(-l.cfg.PathLossDB)
+	sens := p.RecvSensitivityAt(rate)
+	if rxW <= 0 {
+		return math.Inf(-1)
+	}
+	return optics.DB(rxW / sens)
+}
+
+// ReceiverMarginDB returns the receiver margin at the link's current
+// operating point (-Inf while off).
+func (l *Link) ReceiverMarginDB(now sim.Cycle) float64 {
+	l.advance(now)
+	if l.level == offLevel {
+		return math.Inf(-1)
+	}
+	return l.MarginDBAt(now, l.level)
+}
+
+// ProjectedBER returns the margin-derived bit error rate the link would see
+// at electrical level lv (1e-12 at zero margin, worse below). The policy's
+// reliability guard consults this before stepping rates up.
+func (l *Link) ProjectedBER(now sim.Cycle, lv int) float64 {
+	return optics.BERAtMargin(1e-12, l.MarginDBAt(now, lv))
+}
+
 // OpticalLevel returns the current optical level index (0 for links without
 // multiple optical levels).
 func (l *Link) OpticalLevel(now sim.Cycle) int {
@@ -529,6 +633,9 @@ type Stats struct {
 	TimeAtLevel   []sim.Cycle
 	TimeOff       sim.Cycle
 	CurrentPowerW float64
+	// RelockFailures counts fault-injected CDR relock failures (each one
+	// extended a frequency switch's disable window).
+	RelockFailures int
 }
 
 // Stats returns lifetime counters up to now.
@@ -537,11 +644,12 @@ func (l *Link) Stats(now sim.Cycle) Stats {
 	tal := make([]sim.Cycle, len(l.timeAtLevel))
 	copy(tal, l.timeAtLevel)
 	return Stats{
-		EnergyJ:       l.energyJ,
-		Transitions:   l.transitions,
-		DisabledFor:   l.disabledFor,
-		TimeAtLevel:   tal,
-		TimeOff:       l.timeOff,
-		CurrentPowerW: l.powerW,
+		EnergyJ:        l.energyJ,
+		Transitions:    l.transitions,
+		DisabledFor:    l.disabledFor,
+		TimeAtLevel:    tal,
+		TimeOff:        l.timeOff,
+		CurrentPowerW:  l.powerW,
+		RelockFailures: l.relockFails,
 	}
 }

@@ -154,3 +154,29 @@ func (s Series) MaxV() float64 {
 func PowerLatencyProduct(normPower, normLatency float64) float64 {
 	return normPower * normLatency
 }
+
+// Reliability aggregates the fault-injection and link-level retransmission
+// counters of a run: what the degraded-mode reports print alongside
+// latency and power.
+type Reliability struct {
+	// CorruptedFlits counts flits given a wire error by the injector.
+	CorruptedFlits int64
+	// CrcDrops counts flits the receivers discarded on a failed CRC.
+	CrcDrops int64
+	// LostToDown counts flits that arrived while their link was hard-down.
+	LostToDown int64
+	// Retransmits counts go-back-N replay transmissions.
+	Retransmits int64
+	// Nacks counts replay requests issued by receivers.
+	Nacks int64
+	// Timeouts counts retransmit watchdog firings.
+	Timeouts int64
+	// Escalations counts retry exhaustions that forced a link reset.
+	Escalations int64
+	// Duplicates counts replayed flits dropped as already delivered.
+	Duplicates int64
+	// RelockFailures counts fault-injected CDR relock failures.
+	RelockFailures int64
+	// DownLinks is the number of links hard-down at observation time.
+	DownLinks int
+}

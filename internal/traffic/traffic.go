@@ -70,6 +70,36 @@ func (u *Uniform) Next(node int, after sim.Cycle, rng *sim.RNG) (sim.Cycle, int,
 	return at, dst, u.Size, true
 }
 
+// Stoppable wraps an open-loop Generator with a closed-loop stop switch:
+// after Stop, Next reports no further injections for every node, so the
+// network's injection heap drains and Quiescent becomes reachable. Tests
+// use it to assert an exact drain (injected == delivered) instead of
+// bounding the in-flight tail of an endless generator.
+type Stoppable struct {
+	// Gen is the wrapped generator.
+	Gen Generator
+
+	stopped bool
+}
+
+// NewStoppable wraps g.
+func NewStoppable(g Generator) *Stoppable { return &Stoppable{Gen: g} }
+
+// Stop ends injection: every subsequent Next returns ok = false. Arrival
+// times already handed out remain valid, so in-flight injections complete.
+func (s *Stoppable) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Stoppable) Stopped() bool { return s.stopped }
+
+// Next implements Generator.
+func (s *Stoppable) Next(node int, after sim.Cycle, rng *sim.RNG) (sim.Cycle, int, int, bool) {
+	if s.stopped {
+		return 0, 0, 0, false
+	}
+	return s.Gen.Next(node, after, rng)
+}
+
 // Phase is one constant-rate segment of a time-varying schedule.
 type Phase struct {
 	// Until is the cycle at which this phase ends (exclusive).

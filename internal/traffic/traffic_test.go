@@ -331,3 +331,43 @@ func TestGeometricGapExtremeP(t *testing.T) {
 		t.Errorf("gap at p>1 is %d, want 1", g)
 	}
 }
+
+// TestStoppable: a stoppable generator passes draws through until Stop,
+// then reports no further injections for every node.
+func TestStoppable(t *testing.T) {
+	rng := sim.NewRNG(5)
+	s := NewStoppable(NewUniform(16, 0.5, 4))
+	if s.Stopped() {
+		t.Error("fresh Stoppable reports stopped")
+	}
+	at, dst, size, ok := s.Next(3, 100, rng)
+	if !ok || at <= 100 || dst == 3 || size != 4 {
+		t.Fatalf("pass-through draw: at=%d dst=%d size=%d ok=%v", at, dst, size, ok)
+	}
+	s.Stop()
+	if !s.Stopped() {
+		t.Error("Stopped false after Stop")
+	}
+	for node := 0; node < 16; node++ {
+		if _, _, _, ok := s.Next(node, 0, rng); ok {
+			t.Fatalf("node %d still injecting after Stop", node)
+		}
+	}
+}
+
+// TestStoppableMatchesWrapped: before Stop, the wrapper is draw-for-draw
+// identical to the bare generator.
+func TestStoppableMatchesWrapped(t *testing.T) {
+	bare := NewUniform(64, 0.3, 5)
+	wrapped := NewStoppable(NewUniform(64, 0.3, 5))
+	r1, r2 := sim.NewRNG(9), sim.NewRNG(9)
+	var after1, after2 sim.Cycle
+	for i := 0; i < 500; i++ {
+		a1, d1, s1, ok1 := bare.Next(i%64, after1, r1)
+		a2, d2, s2, ok2 := wrapped.Next(i%64, after2, r2)
+		if a1 != a2 || d1 != d2 || s1 != s2 || ok1 != ok2 {
+			t.Fatalf("draw %d diverges: (%d,%d,%d,%v) vs (%d,%d,%d,%v)", i, a1, d1, s1, ok1, a2, d2, s2, ok2)
+		}
+		after1, after2 = a1, a2
+	}
+}
