@@ -10,10 +10,13 @@
 //	optosim -full all
 //
 // Experiments: table2, fig5window, fig5threshold, fig5g, fig5h, fig6,
-// fig7, table3, table3-nodefixed, throughput, patterns, faults, and the
-// ablations ablation-{lu,n,bu,levels,onoff,predictor,routing}. With -svg
-// DIR, the figure-shaped experiments also write SVG charts. The faults
-// experiment takes the -fault.* flags to parameterise the injector.
+// fig7, table3, table3-nodefixed, throughput, patterns, faults, reroute,
+// and the ablations ablation-{lu,n,bu,levels,onoff,predictor,routing}.
+// With -svg DIR, the figure-shaped experiments also write SVG charts. The
+// faults experiment takes the -fault.* flags to parameterise the injector;
+// reroute studies the power knock-on of fault-aware routing around a
+// failed link. With -json, experiments that carry reliability/recovery
+// counters emit a machine-readable summary array instead of tables.
 package main
 
 import (
@@ -61,8 +64,9 @@ func faultConfigFromFlags() fault.Config {
 // output bundles an experiment's renderings: text tables always, SVG
 // charts for the figure-shaped experiments (written when -svg is given).
 type output struct {
-	tables []*report.Table
-	charts []namedChart
+	tables    []*report.Table
+	charts    []namedChart
+	summaries []report.Summary
 }
 
 type runner func(s experiments.Scale) (output, error)
@@ -178,7 +182,36 @@ func registry() map[string]runner {
 			if err != nil {
 				return output{}, err
 			}
-			return output{tables: []*report.Table{experiments.FaultsReport(rows)}}, nil
+			out := output{tables: []*report.Table{experiments.FaultsReport(rows)}}
+			for i := range rows {
+				r := rows[i]
+				out.summaries = append(out.summaries, report.Summary{
+					Experiment:  "faults/" + r.Label,
+					Seed:        s.Seed,
+					MeanLatency: r.MeanLatency,
+					NormPower:   r.NormPower,
+					Delivered:   r.Delivered,
+					Reliability: &r.Rel,
+				})
+			}
+			return out, nil
+		},
+		"reroute": func(s experiments.Scale) (output, error) {
+			r, err := experiments.Reroute(s)
+			if err != nil {
+				return output{}, err
+			}
+			rec := r.Recovery
+			return output{
+				tables: []*report.Table{experiments.RerouteReport(r)},
+				summaries: []report.Summary{{
+					Experiment:  "reroute",
+					Seed:        s.Seed,
+					MeanLatency: r.LatencyFail,
+					Dropped:     rec.DroppedPackets,
+					Recovery:    &rec,
+				}},
+			}, nil
 		},
 		"throughput": func(s experiments.Scale) (output, error) {
 			rs, err := experiments.Throughput(s)
@@ -203,6 +236,7 @@ func ablation(title string, f func(experiments.Scale) ([]experiments.AblationRow
 func main() {
 	full := flag.Bool("full", false, "run at the paper's full scale (slower)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON summaries (reliability/recovery counters) instead of tables")
 	svgDir := flag.String("svg", "", "also write figure charts as SVG files into this directory")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list available experiments")
@@ -240,12 +274,15 @@ func main() {
 	}
 	scale.Seed = *seed
 
-	// Fig 7 depends on trace synthesis; mention the substitution once.
-	fmt.Printf("# power-aware opto-electronic network reproduction (seed=%d, scale=%s)\n",
-		*seed, scaleName(*full))
-	fmt.Printf("# SPLASH-2 traces are synthesised (%v); see DESIGN.md 'Substitutions'\n\n", trace.Benchmarks())
+	if !*jsonOut {
+		// Fig 7 depends on trace synthesis; mention the substitution once.
+		fmt.Printf("# power-aware opto-electronic network reproduction (seed=%d, scale=%s)\n",
+			*seed, scaleName(*full))
+		fmt.Printf("# SPLASH-2 traces are synthesised (%v); see DESIGN.md 'Substitutions'\n\n", trace.Benchmarks())
+	}
 
 	exit := 0
+	var summaries []report.Summary
 	for _, name := range args {
 		r, ok := reg[name]
 		if !ok {
@@ -258,6 +295,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "optosim: %s: %v\n", name, err)
 			exit = 1
+			continue
+		}
+		if *jsonOut {
+			summaries = append(summaries, out.summaries...)
 			continue
 		}
 		for _, tb := range out.tables {
@@ -274,6 +315,12 @@ func main() {
 			}
 		}
 		fmt.Printf("# %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		if err := report.WriteSummaries(os.Stdout, summaries); err != nil {
+			fmt.Fprintf(os.Stderr, "optosim: writing summaries: %v\n", err)
+			exit = 1
+		}
 	}
 	os.Exit(exit)
 }

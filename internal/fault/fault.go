@@ -124,6 +124,21 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// ValidateFor reports configuration errors, additionally checking every
+// scheduled failure's link index against the network's link count —
+// Validate alone cannot know it.
+func (c Config) ValidateFor(numLinks int) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	for i, w := range c.LinkFailures {
+		if w.Link >= numLinks {
+			return fmt.Errorf("fault: failure %d on link %d, but the network has only %d links", i, w.Link, numLinks)
+		}
+	}
+	return nil
+}
+
 // Stats aggregates injector activity across all links.
 type Stats struct {
 	// CorruptedFlits counts flit transmissions given a non-zero error mask.

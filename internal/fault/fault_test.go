@@ -43,6 +43,29 @@ func TestConfigValidateRejects(t *testing.T) {
 	}
 }
 
+// TestValidateFor: link indices must also fit the network that will run
+// the config — Validate alone cannot know the link count.
+func TestValidateFor(t *testing.T) {
+	in := Config{LinkFailures: []LinkFailure{{Link: 10, At: 5, RepairAt: 9}}}
+	if err := in.Validate(); err != nil {
+		t.Errorf("Validate rejected in-range-agnostic config: %v", err)
+	}
+	if err := in.ValidateFor(11); err != nil {
+		t.Errorf("link 10 of 11 rejected: %v", err)
+	}
+	if err := in.ValidateFor(10); err == nil {
+		t.Error("link 10 of 10 accepted")
+	}
+	// ValidateFor still applies every Validate rule.
+	bad := Config{BERScale: -1}
+	if err := bad.ValidateFor(100); err == nil {
+		t.Error("negative BERScale accepted by ValidateFor")
+	}
+	if err := (Config{}).ValidateFor(0); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
 func TestWithDefaults(t *testing.T) {
 	d := Config{}.WithDefaults()
 	if d.WindowSize != 16 || d.AckDelay != 4 || d.RetxTimeout != 256 ||

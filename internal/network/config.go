@@ -82,6 +82,10 @@ type Config struct {
 	// channel runs the historical lossless path, and results are
 	// bit-identical to a build without the fault layer.
 	Fault fault.Config
+	// Recovery configures fault-aware routing, escape-VC deadlock
+	// avoidance, and the stall watchdog. The zero value disables the
+	// subsystem entirely; see RecoveryConfig.
+	Recovery RecoveryConfig
 }
 
 // DefaultConfig returns the paper's system: 64 racks in an 8×8 mesh, 8
@@ -131,13 +135,11 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
-	if err := c.Fault.Validate(); err != nil {
+	if err := c.Fault.ValidateFor(c.TotalLinks()); err != nil {
 		return err
 	}
-	for _, w := range c.Fault.LinkFailures {
-		if w.Link >= c.TotalLinks() {
-			return fmt.Errorf("network: fault on link %d, but the system has only %d links", w.Link, c.TotalLinks())
-		}
+	if err := c.Recovery.validateFor(c.VCs); err != nil {
+		return err
 	}
 	return nil
 }

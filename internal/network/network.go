@@ -39,6 +39,19 @@ type Network struct {
 	// injector is the fault injector, nil unless cfg.Fault is enabled.
 	injector *fault.Injector
 
+	// rec is the fault-aware routing and recovery subsystem, nil unless
+	// cfg.Recovery.Enabled. baseRoute is the configured scheme's plain
+	// port function, which recoveryRoute consults for its preference.
+	rec       *recovery
+	baseRoute func(routerID int, p *router.Packet) int
+
+	// Mesh topology tables: the outgoing channel and global link index per
+	// (router, direction), and the reverse map from an inter-router link
+	// index to its (router, direction). Unwired mesh edges are nil / -1.
+	meshOut  [][4]*router.Channel
+	meshLink [][4]int
+	meshRef  []meshPos
+
 	activeOuts []*router.Output
 	activeNICs []*NIC
 	spareOuts  []*router.Output // second buffer for the work-list swap
@@ -62,6 +75,7 @@ type Network struct {
 	measureFrom    sim.Cycle
 	injectedPkts   int64
 	deliveredPkts  int64
+	droppedPkts    int64
 	deliveredFlits int64
 	latCount       int64
 	latSum         float64
@@ -88,23 +102,41 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 		latMin: -1,
 	}
 
-	// Routers.
-	route := n.routeXY
+	// Routers. The configured scheme's plain port function becomes either
+	// the whole routing function (recovery disabled: any VC, identical to
+	// the historical behaviour) or the preference input to recoveryRoute.
+	n.baseRoute = n.routeXY
 	switch cfg.Routing {
 	case RoutingYX:
-		route = n.routeYX
+		n.baseRoute = n.routeYX
 	case RoutingWestFirst:
-		route = n.routeWestFirst
+		n.baseRoute = n.routeWestFirst
+	}
+	route := func(routerID int, p *router.Packet, inVC int) (int, uint32) {
+		return n.baseRoute(routerID, p), router.AllVCs(cfg.VCs)
+	}
+	escapeVCs := 0
+	recCfg := cfg.Recovery
+	if recCfg.Enabled {
+		recCfg = recCfg.WithDefaults()
+		escapeVCs = recCfg.EscapeVCs
+		route = n.recoveryRoute
 	}
 	n.routers = make([]*router.Router, cfg.Routers())
 	for r := range n.routers {
 		n.routers[r] = router.New(router.Config{
-			ID:       r,
-			Ports:    cfg.PortsPerRouter(),
-			VCs:      cfg.VCs,
-			BufDepth: cfg.BufDepth,
-			Route:    route,
+			ID:        r,
+			Ports:     cfg.PortsPerRouter(),
+			VCs:       cfg.VCs,
+			BufDepth:  cfg.BufDepth,
+			Route:     route,
+			EscapeVCs: escapeVCs,
 		}, n)
+	}
+	n.meshOut = make([][4]*router.Channel, cfg.Routers())
+	n.meshLink = make([][4]int, cfg.Routers())
+	for r := range n.meshLink {
+		n.meshLink[r] = [4]int{-1, -1, -1, -1}
 	}
 
 	linkCfg := cfg.linkConfigFor()
@@ -163,6 +195,9 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 			outPort := cfg.meshPort(h.dir)
 			ch := router.NewChannel(pl, n.wheel, n.routers[dst].AcceptFlit(inPort))
 			n.routers[r].ConnectOutput(outPort, ch)
+			n.meshOut[r][h.dir] = ch
+			n.meshLink[r][h.dir] = len(n.channels)
+			n.meshRef = append(n.meshRef, meshPos{r: r, dir: h.dir})
 			bufs := make([]*router.Buffer, cfg.VCs)
 			for v := 0; v < cfg.VCs; v++ {
 				n.routers[dst].SetUpstream(inPort, v, n.routers[r].Output(outPort), v)
@@ -254,6 +289,16 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 			if fc.RelockFailProb > 0 {
 				ch.PLink().SetRelockFaults(inj.Relock(i), fc.MaxRelockRetries)
 			}
+		}
+	}
+
+	// Recovery: liveness tables, reachability, and the stall watchdog.
+	// Built after the injector so the scheduled failure windows and the
+	// channels' escalation notifications are both in place.
+	if recCfg.Enabled {
+		n.rec = newRecovery(n, recCfg)
+		for _, nc := range n.nics {
+			nc.minVC = recCfg.EscapeVCs
 		}
 	}
 
@@ -367,6 +412,9 @@ func (n *Network) ActivateOutput(o *router.Output) {
 		o.SetActive(true)
 		n.activeOuts = append(n.activeOuts, o)
 	}
+	if n.rec != nil {
+		n.rec.armScan(n.now)
+	}
 }
 
 func (n *Network) activateNIC(nc *NIC) {
@@ -374,6 +422,15 @@ func (n *Network) activateNIC(nc *NIC) {
 		nc.active = true
 		n.activeNICs = append(n.activeNICs, nc)
 	}
+	if n.rec != nil {
+		n.rec.armScan(n.now)
+	}
+}
+
+// meshPos locates an inter-router link: the router it leaves and the mesh
+// direction it points.
+type meshPos struct {
+	r, dir int
 }
 
 // sinkDeliver builds the delivery function for an ejection link: flits are
@@ -536,12 +593,13 @@ func (n *Network) RunTo(t sim.Cycle) {
 }
 
 // Quiescent reports whether the network has fully drained: the traffic
-// sources have no queued injections, every injected packet was delivered,
-// no events are scheduled, and no NIC or output holds work. A network with
-// an open-loop (infinite) generator never quiesces.
+// sources have no queued injections, every injected packet was delivered
+// or dropped-and-counted, no events are scheduled, and no NIC or output
+// holds work. A network with an open-loop (infinite) generator never
+// quiesces.
 func (n *Network) Quiescent() bool {
 	return n.inj.len() == 0 &&
-		n.deliveredPkts == n.injectedPkts &&
+		n.deliveredPkts+n.droppedPkts == n.injectedPkts &&
 		n.wheel.Pending() == 0 &&
 		len(n.activeNICs) == 0 && len(n.activeOuts) == 0
 }

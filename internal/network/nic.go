@@ -63,6 +63,11 @@ type NIC struct {
 	curSeq  int32
 	curVC   int
 
+	// minVC is the lowest VC injection may claim: with recovery enabled
+	// the escape VCs below it are reserved for in-network fallback
+	// traffic, so fresh packets enter the network adaptive.
+	minVC int
+
 	active      bool
 	wakePending bool
 	wakeEvt     sim.Event
@@ -96,12 +101,20 @@ func (nc *NIC) ReturnCredit(now sim.Cycle, vc int) {
 // tryInject attempts to start serialising one flit at cycle now. It
 // returns whether the NIC should stay on the active list.
 func (nc *NIC) tryInject(now sim.Cycle) bool {
-	if nc.cur == nil {
+	for nc.cur == nil {
 		if nc.q.n == 0 {
 			nc.active = false
 			return false
 		}
 		d := nc.q.pop()
+		// With recovery enabled, a destination the live-link graph cannot
+		// reach is dropped here and counted rather than wedging the NIC.
+		if rec := nc.net.rec; rec != nil &&
+			!rec.reachable(nc.net.cfg.nodeRouter(nc.node), nc.net.cfg.nodeRouter(int(d.dst))) {
+			rec.unreachableDrops++
+			nc.net.droppedPkts++
+			continue
+		}
 		p := nc.net.pool.Get()
 		p.Src = nc.node
 		p.Dst = int(d.dst)
@@ -112,9 +125,9 @@ func (nc *NIC) tryInject(now sim.Cycle) bool {
 		nc.cur = p
 		nc.curSeq = 0
 		// Claim the VC with the most credits for the whole packet
-		// (wormhole: one VC per packet per hop).
-		best := 0
-		for v := 1; v < len(nc.credits); v++ {
+		// (wormhole: one VC per packet per hop), never an escape VC.
+		best := nc.minVC
+		for v := best + 1; v < len(nc.credits); v++ {
 			if nc.credits[v] > nc.credits[best] {
 				best = v
 			}

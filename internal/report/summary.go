@@ -1,0 +1,65 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Summary is a machine-readable digest of one experiment run: the headline
+// performance numbers plus, when the run exercised the fault or recovery
+// layers, their counter blocks. It is what `optosim -json` emits.
+type Summary struct {
+	Experiment  string  `json:"experiment"`
+	Seed        uint64  `json:"seed"`
+	MeanLatency float64 `json:"mean_latency_cycles,omitempty"`
+	NormPower   float64 `json:"norm_power,omitempty"`
+	Delivered   int64   `json:"delivered,omitempty"`
+	Dropped     int64   `json:"dropped,omitempty"`
+
+	// Reliability carries the fault-injection / retransmission counters
+	// (nil when the run had no fault layer).
+	Reliability *stats.Reliability `json:"reliability,omitempty"`
+	// Recovery carries the fault-aware routing and stall-watchdog counters
+	// (nil when the run had no recovery subsystem).
+	Recovery *stats.Recovery `json:"recovery,omitempty"`
+}
+
+// JSON renders the summary as indented JSON.
+func (s Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseSummary is the inverse of JSON. Unknown fields are rejected so a
+// schema drift between writer and reader fails loudly instead of silently
+// dropping counters.
+func ParseSummary(b []byte) (Summary, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s Summary
+	if err := dec.Decode(&s); err != nil {
+		return Summary{}, fmt.Errorf("report: parsing summary: %w", err)
+	}
+	return s, nil
+}
+
+// WriteSummaries renders a JSON array of summaries to w.
+func WriteSummaries(w io.Writer, sums []Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sums)
+}
+
+// ParseSummaries is the inverse of WriteSummaries.
+func ParseSummaries(b []byte) ([]Summary, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var sums []Summary
+	if err := dec.Decode(&sums); err != nil {
+		return nil, fmt.Errorf("report: parsing summaries: %w", err)
+	}
+	return sums, nil
+}

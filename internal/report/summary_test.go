@@ -1,0 +1,95 @@
+package report
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleSummary() Summary {
+	return Summary{
+		Experiment:  "faults",
+		Seed:        42,
+		MeanLatency: 123.456,
+		NormPower:   0.61,
+		Delivered:   10_000,
+		Dropped:     7,
+		Reliability: &stats.Reliability{
+			CorruptedFlits: 120,
+			CrcDrops:       118,
+			LostToDown:     40,
+			Retransmits:    300,
+			Nacks:          118,
+			Timeouts:       12,
+			Escalations:    1,
+			Duplicates:     9,
+			RelockFailures: 3,
+			DownLinks:      1,
+		},
+		Recovery: &stats.Recovery{
+			Reroutes:         250,
+			Misroutes:        12,
+			EscapeGrants:     480,
+			WatchdogReroutes: 30,
+			WatchdogDrops:    5,
+			UnreachableDrops: 2,
+			DiscardedFlits:   25,
+			DroppedPackets:   7,
+			DownMeshLinks:    1,
+			ReachRecomputes:  4,
+		},
+	}
+}
+
+// TestSummaryRoundTrip: every counter — including the full Reliability and
+// Recovery blocks — survives JSON marshal → parse unchanged.
+func TestSummaryRoundTrip(t *testing.T) {
+	in := sampleSummary()
+	b, err := in.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseSummary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the summary:\nin:  %+v\nout: %+v", in, out)
+	}
+	for _, want := range []string{"reliability", "recovery", "watchdog_drops", "unreachable_drops", "crc_drops"} {
+		if !strings.Contains(string(b), `"`+want+`"`) {
+			t.Errorf("JSON missing %q field:\n%s", want, b)
+		}
+	}
+}
+
+// TestSummariesRoundTrip covers the array form optosim -json emits,
+// including a minimal summary whose nil blocks must stay omitted.
+func TestSummariesRoundTrip(t *testing.T) {
+	in := []Summary{sampleSummary(), {Experiment: "table2", Seed: 1}}
+	var buf bytes.Buffer
+	if err := WriteSummaries(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"experiment": "table2"`) &&
+		strings.Count(buf.String(), `"reliability"`) != 1 {
+		t.Errorf("nil reliability block not omitted:\n%s", buf.String())
+	}
+	out, err := ParseSummaries(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the summaries:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+// TestParseSummaryRejectsUnknownFields: schema drift fails loudly.
+func TestParseSummaryRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSummary([]byte(`{"experiment":"x","seed":1,"bogus":3}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

@@ -44,7 +44,7 @@ func BenchmarkChannelSend(b *testing.B) {
 // send, credit return, through a single router output under load.
 func BenchmarkGrantPath(b *testing.B) {
 	h := newBenchHarness()
-	r := New(Config{ID: 0, Ports: 2, VCs: 2, BufDepth: 16, Route: func(int, *Packet) int { return 1 }}, h)
+	r := New(Config{ID: 0, Ports: 2, VCs: 2, BufDepth: 16, Route: func(int, *Packet, int) (int, uint32) { return 1, ^uint32(0) }}, h)
 	out := r.Output(1)
 	ch := NewChannel(mustLink(), h.wheel, func(now sim.Cycle, f FlitRef) {
 		out.ReturnCredit(now, int(f.VC))

@@ -130,6 +130,11 @@ type Channel struct {
 	deliverEvt sim.Event
 
 	rel *relState // nil = lossless channel, zero reliability overhead
+
+	// downNotify, when set, is called on each watchdog escalation that
+	// resets the link — the recovery layer's hook for marking the link
+	// dead in its liveness tables until the reset expires.
+	downNotify func(now, until sim.Cycle)
 }
 
 // NewChannel wires a channel to its power-aware link, the shared timing
@@ -453,6 +458,9 @@ func (c *Channel) watchdog(now sim.Cycle) {
 		r.stats.Escalations++
 		r.retries = 0
 		r.downUntil = now + r.cfg.ResetCycles
+		if c.downNotify != nil {
+			c.downNotify(now, r.downUntil)
+		}
 	}
 	r.lastProgress = now
 	r.replayNext = r.ackSeq
@@ -487,6 +495,30 @@ func (c *Channel) OutstandingFlits() int {
 		return 0
 	}
 	return int(c.rel.sendSeq - c.rel.rxExpect)
+}
+
+// SetDownNotify registers a callback invoked whenever a watchdog
+// escalation resets the link (scheduled failure windows are known to the
+// recovery layer up front; escalations are the only surprise downtime).
+func (c *Channel) SetDownNotify(fn func(now, until sim.Cycle)) { c.downNotify = fn }
+
+// DownUntil returns the cycle at which a link that is hard-down at now is
+// expected back up, or now itself when the link is up. Open-ended only for
+// permanent scheduled failures (RepairAt == 0), reported as a far-future
+// sentinel by the injector.
+func (c *Channel) DownUntil(now sim.Cycle) sim.Cycle {
+	r := c.rel
+	if r == nil {
+		return now
+	}
+	t := now
+	if r.downUntil > t {
+		t = r.downUntil
+	}
+	if down, until := r.cfg.Source.DownWindow(r.cfg.Link, now); down && until > t {
+		t = until
+	}
+	return t
 }
 
 // DownAt reports whether the link is hard-down at now: inside a scheduled

@@ -39,6 +39,18 @@ type Packet struct {
 	Len       int // length in flits
 	CreatedAt sim.Cycle
 
+	// Misroutes counts non-minimal hops taken to route around failed
+	// links; fault-aware routing stops misrouting once a per-packet budget
+	// is spent (livelock bound).
+	Misroutes int
+
+	// Killed marks a packet dropped by the stall watchdog. Its remaining
+	// flits are discarded — with credits returned — as they reach
+	// KillRouter, unwinding the wormhole without losing flow-control
+	// state. Killed packets are never recycled through the pool.
+	Killed     bool
+	KillRouter int
+
 	next *Packet // pool linkage
 }
 

@@ -6,8 +6,16 @@ import (
 	"repro/internal/sim"
 )
 
-// RouteFunc computes the output port at router routerID for packet p.
-type RouteFunc func(routerID int, p *Packet) int
+// RouteFunc computes, at router routerID, the output port for packet p and
+// the set of downstream virtual channels the packet may claim there (bit v
+// set = VC v allowed). inVC is the input VC the packet arrived on — escape
+// VC disciplines route restrictively once a packet is on the escape layer.
+// The mask must be non-zero; a routing function with no VC policy returns
+// all ones.
+type RouteFunc func(routerID int, p *Packet, inVC int) (port int, vcMask uint32)
+
+// AllVCs builds the unrestricted VC mask for n virtual channels.
+func AllVCs(n int) uint32 { return uint32(1)<<uint(n) - 1 }
 
 // Scheduler is the part of the surrounding network the router talks to:
 // the shared timing wheel and the active-output work list.
@@ -31,31 +39,47 @@ type Config struct {
 	VCs      int
 	BufDepth int // flits per input VC
 	Route    RouteFunc
+	// EscapeVCs reserves the first EscapeVCs virtual channels of every
+	// port as the escape layer of fault-aware routing (Duato-style): VC
+	// allocation prefers the remaining adaptive VCs and only claims an
+	// escape VC when the routing function's mask offers it. 0 disables —
+	// allocation order and behaviour are then exactly the historical ones.
+	EscapeVCs int
 }
 
 // Router is one 5-stage pipelined virtual-channel wormhole router.
 type Router struct {
-	id    int
-	ports int
-	vcs   int
-	depth int
-	route RouteFunc
-	sched Scheduler
+	id        int
+	ports     int
+	vcs       int
+	depth     int
+	escapeVCs int
+	route     RouteFunc
+	sched     Scheduler
 
 	ins       []inputVC
 	outs      []Output
 	inputBusy []sim.Cycle // per input port: cycle of the last crossbar grant
 
-	flitsRouted int64
+	flitsRouted    int64
+	flitsDiscarded int64 // killed-packet flits dropped at this router
+	escGrants      int64 // flits granted onto an escape VC
 }
 
 type inputVC struct {
 	buf      *Buffer
-	route    int  // output port for the current packet, -1 when unset
-	outVC    int  // allocated output VC at that port, -1 when unset
-	inReq    bool // currently queued in an output's request list
+	route    int     // output port for the current packet, -1 when unset
+	outVC    int     // allocated output VC at that port, -1 when unset
+	vcMask   uint32  // downstream VCs the current packet may claim
+	curPkt   *Packet // packet whose wormhole currently owns this input VC
+	inReq    bool    // currently queued in an output's request list
 	upstream CreditSink
 	upVC     int
+
+	// progressAt is the cycle of the last forward progress on this VC —
+	// a pop, or an arrival into an empty buffer. The stall watchdog
+	// measures head-of-line blockage against it.
+	progressAt sim.Cycle
 
 	holEvt    sim.Event // fires register() when the HOL flit becomes ready
 	creditEvt sim.Event // returns one credit upstream
@@ -91,11 +115,15 @@ func New(cfg Config, sched Scheduler) *Router {
 	if cfg.Ports <= 0 || cfg.VCs <= 0 || cfg.BufDepth <= 0 {
 		panic(fmt.Sprintf("router: bad config %+v", cfg))
 	}
+	if cfg.EscapeVCs < 0 || cfg.EscapeVCs >= cfg.VCs {
+		panic(fmt.Sprintf("router: EscapeVCs %d must be in [0, VCs=%d)", cfg.EscapeVCs, cfg.VCs))
+	}
 	r := &Router{
 		id:        cfg.ID,
 		ports:     cfg.Ports,
 		vcs:       cfg.VCs,
 		depth:     cfg.BufDepth,
+		escapeVCs: cfg.EscapeVCs,
 		route:     cfg.Route,
 		sched:     sched,
 		ins:       make([]inputVC, cfg.Ports*cfg.VCs),
@@ -183,6 +211,7 @@ func (r *Router) AcceptFlit(p int) DeliverFunc {
 		wasEmpty := in.buf.Len() == 0
 		in.buf.Push(now, f)
 		if wasEmpty {
+			in.progressAt = now
 			r.register(now, ivc)
 		}
 	}
@@ -190,26 +219,219 @@ func (r *Router) AcceptFlit(p int) DeliverFunc {
 
 // register makes input VC ivc's head-of-line flit compete for its output
 // port, scheduling itself for later if the flit is not yet pipeline-ready.
+// Flits of packets killed at this router are discarded here instead.
 func (r *Router) register(now sim.Cycle, ivc int) {
 	in := &r.ins[ivc]
 	if in.inReq || in.buf.Len() == 0 {
 		return
 	}
 	f := in.buf.Front()
+	if f.Pkt.Killed && f.Pkt.KillRouter == r.id {
+		r.discardKilled(now, ivc)
+		if in.buf.Len() == 0 {
+			return
+		}
+		f = in.buf.Front()
+	}
 	if f.ReadyAt > now {
 		r.sched.Wheel().Schedule(f.ReadyAt, in.holEvt)
 		return
 	}
 	if f.IsHead() && in.route < 0 {
-		in.route = r.route(r.id, f.Pkt) // route computation stage
-		if in.route < 0 || in.route >= r.ports {
-			panic(fmt.Sprintf("router %d: route for packet %d -> invalid port %d", r.id, f.Pkt.ID, in.route))
+		port, mask := r.route(r.id, f.Pkt, ivc%r.vcs) // route computation stage
+		if port < 0 || port >= r.ports {
+			panic(fmt.Sprintf("router %d: route for packet %d -> invalid port %d", r.id, f.Pkt.ID, port))
 		}
+		if mask == 0 {
+			panic(fmt.Sprintf("router %d: empty VC mask for packet %d", r.id, f.Pkt.ID))
+		}
+		in.route = port
+		in.vcMask = mask
+		in.curPkt = f.Pkt
 	}
 	o := &r.outs[in.route]
 	in.inReq = true
 	o.req = append(o.req, ivc)
 	r.sched.ActivateOutput(o)
+}
+
+// discardKilled drops the flits of the killed packet at the head of input
+// VC ivc, returning one upstream credit per flit. When the packet's tail
+// passes, the wormhole state it held through this router is released. The
+// caller must have detached ivc from any request list first.
+func (r *Router) discardKilled(now sim.Cycle, ivc int) {
+	in := &r.ins[ivc]
+	for in.buf.Len() > 0 {
+		f := in.buf.Front()
+		p := f.Pkt
+		if !p.Killed || p.KillRouter != r.id {
+			return
+		}
+		in.buf.Pop(now)
+		in.progressAt = now
+		r.flitsDiscarded++
+		if in.upstream != nil {
+			r.sched.Wheel().Schedule(now+CreditDelay, in.creditEvt)
+		}
+		if f.IsTail() && in.curPkt == p {
+			if in.outVC >= 0 {
+				r.outs[in.route].ovc[in.outVC].owner = -1
+				in.outVC = -1
+			}
+			in.route = -1
+			in.curPkt = nil
+		}
+	}
+}
+
+// detach removes input VC ivc from its output's request list, if queued.
+func (r *Router) detach(ivc int) {
+	in := &r.ins[ivc]
+	if !in.inReq {
+		return
+	}
+	o := &r.outs[in.route]
+	for i, q := range o.req {
+		if q == ivc {
+			o.req = append(o.req[:i], o.req[i+1:]...)
+			break
+		}
+	}
+	if len(o.req) == 0 {
+		o.rr = 0
+	} else {
+		o.rr %= len(o.req)
+	}
+	in.inReq = false
+}
+
+// InputVCs returns the number of input virtual channels (ports × VCs);
+// input VC indices run [0, InputVCs()).
+func (r *Router) InputVCs() int { return len(r.ins) }
+
+// HOL returns input VC ivc's head-of-line flit (ok=false when empty).
+func (r *Router) HOL(ivc int) (FlitRef, bool) {
+	in := &r.ins[ivc]
+	if in.buf.Len() == 0 {
+		return FlitRef{}, false
+	}
+	return in.buf.Front(), true
+}
+
+// ProgressAt returns the cycle of input VC ivc's last forward progress.
+func (r *Router) ProgressAt(ivc int) sim.Cycle { return r.ins[ivc].progressAt }
+
+// RouteOf returns the output port the current packet on input VC ivc is
+// routed to (-1 when no wormhole is in progress).
+func (r *Router) RouteOf(ivc int) int { return r.ins[ivc].route }
+
+// RerouteHOL redirects the head-of-line packet of input VC ivc to (port,
+// vcMask), releasing any request-list slot and output VC it held. Only a
+// packet whose head flit is still waiting here can change course — once
+// body flits follow, the wormhole is committed. Reports whether the
+// reroute was applied.
+func (r *Router) RerouteHOL(now sim.Cycle, ivc, port int, vcMask uint32) bool {
+	in := &r.ins[ivc]
+	if in.buf.Len() == 0 || vcMask == 0 || port < 0 || port >= r.ports {
+		return false
+	}
+	f := in.buf.Front()
+	if !f.IsHead() {
+		return false
+	}
+	if in.route == port && in.vcMask == vcMask {
+		// Already restricted to exactly this route: re-registering would be
+		// a no-op, and reporting success would let a caller's escalation
+		// counter tick on every scan for one stuck packet.
+		return false
+	}
+	r.detach(ivc)
+	if in.outVC >= 0 {
+		r.outs[in.route].ovc[in.outVC].owner = -1
+		in.outVC = -1
+	}
+	in.route = port
+	in.vcMask = vcMask
+	in.curPkt = f.Pkt
+	r.register(now, ivc)
+	return true
+}
+
+// KillHOL drops the packet whose head flit is blocked at input VC ivc: the
+// packet is marked killed with this router as its discard point, its
+// buffered flits are dropped with credits returned, and any flits still
+// arriving from upstream are discarded on arrival. Returns the killed
+// packet, or nil when the head-of-line flit is not a head (a committed
+// wormhole cannot be killed here — its head router must do it).
+func (r *Router) KillHOL(now sim.Cycle, ivc int) *Packet {
+	in := &r.ins[ivc]
+	if in.buf.Len() == 0 {
+		return nil
+	}
+	f := in.buf.Front()
+	if !f.IsHead() {
+		return nil
+	}
+	p := f.Pkt
+	r.detach(ivc)
+	if in.outVC >= 0 {
+		r.outs[in.route].ovc[in.outVC].owner = -1
+		in.outVC = -1
+	}
+	in.route = -1
+	in.curPkt = nil
+	p.Killed = true
+	p.KillRouter = r.id
+	r.discardKilled(now, ivc)
+	if in.buf.Len() > 0 {
+		r.register(now, ivc)
+	}
+	return p
+}
+
+// SweepKilled discards, across all input VCs, head-of-line flits of
+// packets killed at this router — called after a channel abort marks
+// packets killed while their body flits sit in our buffers.
+func (r *Router) SweepKilled(now sim.Cycle) {
+	for ivc := range r.ins {
+		in := &r.ins[ivc]
+		if in.buf.Len() == 0 {
+			continue
+		}
+		f := in.buf.Front()
+		if !f.Pkt.Killed || f.Pkt.KillRouter != r.id {
+			continue
+		}
+		r.detach(ivc)
+		r.discardKilled(now, ivc)
+		if in.buf.Len() > 0 {
+			r.register(now, ivc)
+		}
+	}
+}
+
+// DiscardedFlits returns how many killed-packet flits this router dropped.
+func (r *Router) DiscardedFlits() int64 { return r.flitsDiscarded }
+
+// EscapeGrants returns how many flits this router granted onto escape VCs.
+func (r *Router) EscapeGrants() int64 { return r.escGrants }
+
+// pickVC selects a free output VC permitted by mask, preferring adaptive
+// VCs over escape VCs; with no escape VCs configured the scan is the
+// historical ascending order.
+func (o *Output) pickVC(mask uint32) int {
+	esc := o.router.escapeVCs
+	for v := esc; v < len(o.ovc); v++ {
+		if mask&(1<<uint(v)) != 0 && o.ovc[v].owner < 0 {
+			return v
+		}
+	}
+	for v := 0; v < esc; v++ {
+		if mask&(1<<uint(v)) != 0 && o.ovc[v].owner < 0 {
+			return v
+		}
+	}
+	return -1
 }
 
 // TryGrant runs one switch-allocation round for this output port at cycle
@@ -246,18 +468,29 @@ func (o *Output) TryGrant(now sim.Cycle) bool {
 		if r.inputBusy[inPort] == now {
 			continue // crossbar input already used this cycle
 		}
+		if hol := in.buf.Front(); hol.Pkt.Killed && hol.Pkt.KillRouter == r.id {
+			// Killed between registration and grant: discard instead of
+			// forwarding (the watchdog normally sweeps these out first).
+			o.req = append(o.req[:i], o.req[i+1:]...)
+			in.inReq = false
+			if len(o.req) > 0 {
+				o.rr = i % len(o.req)
+			} else {
+				o.rr = 0
+			}
+			r.discardKilled(now, ivc)
+			if in.buf.Len() > 0 {
+				r.register(now, ivc)
+			}
+			o.active = len(o.req) > 0
+			return o.active
+		}
 		// VC allocation for head flits that have not yet acquired an
 		// output VC.
 		if in.outVC < 0 {
-			free := -1
-			for v := range o.ovc {
-				if o.ovc[v].owner < 0 {
-					free = v
-					break
-				}
-			}
+			free := o.pickVC(in.vcMask)
 			if free < 0 {
-				continue // all output VCs owned; wait for a tail to pass
+				continue // all permitted output VCs owned; wait for a tail
 			}
 			o.ovc[free].owner = ivc
 			in.outVC = free
@@ -270,9 +503,13 @@ func (o *Output) TryGrant(now sim.Cycle) bool {
 		// Grant: switch traversal and link transmission.
 		o.ovc[v].credits--
 		f := in.buf.Pop(now)
+		in.progressAt = now
 		r.inputBusy[inPort] = now
 		r.flitsRouted++
 		o.grants++
+		if v < r.escapeVCs {
+			r.escGrants++
+		}
 		if in.upstream != nil {
 			r.sched.Wheel().Schedule(now+CreditDelay, in.creditEvt)
 		}
@@ -283,6 +520,7 @@ func (o *Output) TryGrant(now sim.Cycle) bool {
 			o.ovc[v].owner = -1
 			in.outVC = -1
 			in.route = -1
+			in.curPkt = nil
 		}
 
 		// Remove ivc from the request list (ordered, for stable fairness)

@@ -48,7 +48,7 @@ func newHarness() *harness {
 
 // fixedRoute routes every packet to port p.Dst (tests encode the output
 // port directly in the destination field).
-func fixedRoute(routerID int, p *Packet) int { return p.Dst }
+func fixedRoute(routerID int, p *Packet, inVC int) (int, uint32) { return p.Dst, ^uint32(0) }
 
 func fullRateLink(t *testing.T) *powerlink.Link {
 	t.Helper()
@@ -303,7 +303,7 @@ func TestRouterBadConfigPanics(t *testing.T) {
 func TestRouterInvalidRoutePanics(t *testing.T) {
 	h := newHarness()
 	r := New(Config{ID: 0, Ports: 2, VCs: 1, BufDepth: 4,
-		Route: func(int, *Packet) int { return 99 }}, h)
+		Route: func(int, *Packet, int) (int, uint32) { return 99, ^uint32(0) }}, h)
 	r.ConnectOutput(0, NewChannel(fullRateLink(t), h.wheel, func(sim.Cycle, FlitRef) {}))
 	r.ConnectOutput(1, NewChannel(fullRateLink(t), h.wheel, func(sim.Cycle, FlitRef) {}))
 	pkt := mkPacket(1, 0, 1)

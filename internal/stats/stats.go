@@ -160,23 +160,56 @@ func PowerLatencyProduct(normPower, normLatency float64) float64 {
 // latency and power.
 type Reliability struct {
 	// CorruptedFlits counts flits given a wire error by the injector.
-	CorruptedFlits int64
+	CorruptedFlits int64 `json:"corrupted_flits"`
 	// CrcDrops counts flits the receivers discarded on a failed CRC.
-	CrcDrops int64
+	CrcDrops int64 `json:"crc_drops"`
 	// LostToDown counts flits that arrived while their link was hard-down.
-	LostToDown int64
+	LostToDown int64 `json:"lost_to_down"`
 	// Retransmits counts go-back-N replay transmissions.
-	Retransmits int64
+	Retransmits int64 `json:"retransmits"`
 	// Nacks counts replay requests issued by receivers.
-	Nacks int64
+	Nacks int64 `json:"nacks"`
 	// Timeouts counts retransmit watchdog firings.
-	Timeouts int64
+	Timeouts int64 `json:"timeouts"`
 	// Escalations counts retry exhaustions that forced a link reset.
-	Escalations int64
+	Escalations int64 `json:"escalations"`
 	// Duplicates counts replayed flits dropped as already delivered.
-	Duplicates int64
+	Duplicates int64 `json:"duplicates"`
 	// RelockFailures counts fault-injected CDR relock failures.
-	RelockFailures int64
+	RelockFailures int64 `json:"relock_failures"`
 	// DownLinks is the number of links hard-down at observation time.
-	DownLinks int
+	DownLinks int `json:"down_links"`
+}
+
+// Recovery aggregates the fault-aware routing and stall-watchdog counters
+// of a run: how traffic was steered around hard link failures and what the
+// last-resort escalations cost.
+type Recovery struct {
+	// Reroutes counts routing decisions where liveness filtering excluded
+	// at least one minimal candidate — the packet was steered around a
+	// dead link while staying minimal.
+	Reroutes int64 `json:"reroutes"`
+	// Misroutes counts non-minimal hops taken because every minimal
+	// candidate was dead (bounded per packet by MaxMisroutes).
+	Misroutes int64 `json:"misroutes"`
+	// EscapeGrants counts flits granted onto escape virtual channels.
+	EscapeGrants int64 `json:"escape_grants"`
+	// WatchdogReroutes counts head-of-line packets the stall watchdog
+	// forced onto the escape network after StallHorizon.
+	WatchdogReroutes int64 `json:"watchdog_reroutes"`
+	// WatchdogDrops counts packets dropped after DropHorizon.
+	WatchdogDrops int64 `json:"watchdog_drops"`
+	// UnreachableDrops counts packets dropped at injection because no live
+	// path to their destination router existed.
+	UnreachableDrops int64 `json:"unreachable_drops"`
+	// DiscardedFlits counts killed-packet flits discarded by routers.
+	DiscardedFlits int64 `json:"discarded_flits"`
+	// DroppedPackets is the drop total (watchdog + unreachable); exact
+	// drain means Injected == Delivered + DroppedPackets.
+	DroppedPackets int64 `json:"dropped_packets"`
+	// DownMeshLinks is the number of inter-router links the liveness table
+	// currently considers dead.
+	DownMeshLinks int `json:"down_mesh_links"`
+	// ReachRecomputes counts reachability/liveness recomputations.
+	ReachRecomputes int64 `json:"reach_recomputes"`
 }
