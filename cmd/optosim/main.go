@@ -17,6 +17,12 @@
 // reroute studies the power knock-on of fault-aware routing around a
 // failed link. With -json, experiments that carry reliability/recovery
 // counters emit a machine-readable summary array instead of tables.
+//
+// The faults and reroute experiments can run instrumented: -telemetry
+// enables the wheel-driven probe/flight-recorder subsystem, -trace-out
+// writes a Chrome trace_event JSON (open in Perfetto or chrome://tracing),
+// -telemetry.csv dumps the raw time series, and -flight-out captures the
+// flight-recorder timeline (auto-dumped mid-run on watchdog escalation).
 package main
 
 import (
@@ -178,40 +184,57 @@ func registry() map[string]runner {
 			return output{tables: []*report.Table{experiments.ReplicateReport(rs)}}, nil
 		},
 		"faults": func(s experiments.Scale) (output, error) {
-			rows, err := experiments.Faults(s, faultConfigFromFlags())
+			rows, reg, err := experiments.FaultsInstrumented(s, faultConfigFromFlags(), telemetryConfigFromFlags())
 			if err != nil {
 				return output{}, err
 			}
 			out := output{tables: []*report.Table{experiments.FaultsReport(rows)}}
 			for i := range rows {
 				r := rows[i]
-				out.summaries = append(out.summaries, report.Summary{
-					Experiment:  "faults/" + r.Label,
-					Seed:        s.Seed,
-					MeanLatency: r.MeanLatency,
-					NormPower:   r.NormPower,
-					Delivered:   r.Delivered,
-					Reliability: &r.Rel,
-				})
+				sum := report.Summary{
+					Experiment:     "faults/" + r.Label,
+					Seed:           s.Seed,
+					MeanLatency:    r.MeanLatency,
+					NormPower:      r.NormPower,
+					Delivered:      r.Delivered,
+					LevelHistogram: r.LevelHist,
+					OffLinks:       r.OffLinks,
+					TimeAtLevel:    r.TimeAtLevel,
+					Reliability:    &r.Rel,
+				}
+				// The registry instruments the injected run only.
+				if reg != nil && r.Label == "injected" {
+					d := reg.Digest()
+					sum.Telemetry = &d
+				}
+				out.summaries = append(out.summaries, sum)
 			}
-			return out, nil
+			return out, exportTelemetry(reg)
 		},
 		"reroute": func(s experiments.Scale) (output, error) {
-			r, err := experiments.Reroute(s)
+			r, reg, err := experiments.RerouteInstrumented(s, telemetryConfigFromFlags())
 			if err != nil {
 				return output{}, err
 			}
 			rec := r.Recovery
+			sum := report.Summary{
+				Experiment:     "reroute",
+				Seed:           s.Seed,
+				MeanLatency:    r.LatencyFail,
+				Dropped:        rec.DroppedPackets,
+				LevelHistogram: r.LevelHist,
+				OffLinks:       r.OffLinks,
+				TimeAtLevel:    r.TimeAtLevel,
+				Recovery:       &rec,
+			}
+			if reg != nil {
+				d := reg.Digest()
+				sum.Telemetry = &d
+			}
 			return output{
-				tables: []*report.Table{experiments.RerouteReport(r)},
-				summaries: []report.Summary{{
-					Experiment:  "reroute",
-					Seed:        s.Seed,
-					MeanLatency: r.LatencyFail,
-					Dropped:     rec.DroppedPackets,
-					Recovery:    &rec,
-				}},
-			}, nil
+				tables:    []*report.Table{experiments.RerouteReport(r)},
+				summaries: []report.Summary{sum},
+			}, exportTelemetry(reg)
 		},
 		"throughput": func(s experiments.Scale) (output, error) {
 			rs, err := experiments.Throughput(s)

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Telemetry knobs for the experiments that support instrumentation (faults,
+// reroute). Any output flag implies -telemetry. When several instrumented
+// experiments run in one invocation, the last one's artifacts win.
+var (
+	telemOn     = flag.Bool("telemetry", false, "enable the telemetry subsystem on the faults/reroute experiments")
+	telemSample = flag.Int64("telemetry.sample", 1024, "cycles between telemetry samples")
+	telemRing   = flag.Int("telemetry.ring", 512, "per-series point capacity (a full ring halves resolution to keep whole-run coverage)")
+	telemCSVOut = flag.String("telemetry.csv", "", "write telemetry time series as CSV to this file (implies -telemetry)")
+	traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file (loadable in Perfetto / chrome://tracing) to this path (implies -telemetry)")
+	flightOut   = flag.String("flight-out", "", "write the flight-recorder timeline as JSON to this path; also the auto-dump target for watchdog/audit triggers (implies -telemetry)")
+)
+
+// telemetryConfigFromFlags assembles the telemetry configuration for the
+// instrumented experiments; the zero value means disabled.
+func telemetryConfigFromFlags() telemetry.Config {
+	if !*telemOn && *traceOut == "" && *flightOut == "" && *telemCSVOut == "" {
+		return telemetry.Config{}
+	}
+	return telemetry.Config{
+		Enabled:        true,
+		SampleEvery:    sim.Cycle(*telemSample),
+		RingCap:        *telemRing,
+		FlightDumpPath: *flightOut,
+	}
+}
+
+// exportTelemetry writes the artifacts requested on the command line from
+// one experiment's registry (nil when telemetry was disabled).
+func exportTelemetry(reg *telemetry.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, func(f *os.File) error {
+			return telemetry.WriteChromeTrace(f, reg)
+		}); err != nil {
+			return err
+		}
+	}
+	if *telemCSVOut != "" {
+		if err := writeTo(*telemCSVOut, func(f *os.File) error {
+			return telemetry.WriteCSV(f, reg)
+		}); err != nil {
+			return err
+		}
+	}
+	// A watchdog/audit trigger already dumped the flight recorder to
+	// -flight-out mid-run; if nothing fired, write the end-of-run timeline
+	// so the artifact always exists.
+	if *flightOut != "" {
+		if written, _ := reg.Dumps(); written == 0 {
+			if err := writeTo(*flightOut, func(f *os.File) error {
+				return reg.DumpFlight(f, lastSampleCycle(reg), "end_of_run")
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("optosim: %w", err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// lastSampleCycle returns the latest sampled cycle across all series — the
+// effective end-of-run timestamp for a quiet flight-recorder dump.
+func lastSampleCycle(reg *telemetry.Registry) sim.Cycle {
+	var last sim.Cycle
+	for _, s := range reg.Series() {
+		if n := len(s.Points); n > 0 && s.Points[n-1].T > last {
+			last = s.Points[n-1].T
+		}
+	}
+	return last
+}

@@ -1,0 +1,99 @@
+// Command tracecheck validates a Chrome trace_event JSON file (as written
+// by optosim -trace-out) against the subset of the trace-event schema the
+// Perfetto / chrome://tracing importers require:
+//
+//   - top level is an object with a traceEvents array
+//   - every event has name, ph, ts (>= 0), and pid
+//   - counter events (ph "C") carry a numeric args.value
+//   - instant events (ph "i") carry a scope
+//
+// It exits non-zero on the first violation, printing where it was found,
+// and otherwise prints a one-line census. CI runs it on the trace artifact
+// from a telemetry-enabled reroute run.
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// event mirrors the fields tracecheck validates; unknown fields are allowed
+// (the format is open-ended by design).
+type event struct {
+	Name  string                     `json:"name"`
+	Phase string                     `json:"ph"`
+	TS    *float64                   `json:"ts"`
+	PID   *int                       `json:"pid"`
+	Scope string                     `json:"s"`
+	Args  map[string]json.RawMessage `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(b, &tf); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("%s: traceEvents array missing or empty", path)
+	}
+	counts := map[string]int{}
+	for i, e := range tf.TraceEvents {
+		where := fmt.Sprintf("%s: event %d (%q)", path, i, e.Name)
+		if e.Name == "" {
+			return fmt.Errorf("%s: missing name", where)
+		}
+		if e.Phase == "" {
+			return fmt.Errorf("%s: missing ph", where)
+		}
+		if e.TS == nil {
+			return fmt.Errorf("%s: missing ts", where)
+		}
+		if *e.TS < 0 {
+			return fmt.Errorf("%s: negative ts %g", where, *e.TS)
+		}
+		if e.PID == nil {
+			return fmt.Errorf("%s: missing pid", where)
+		}
+		switch e.Phase {
+		case "C":
+			raw, ok := e.Args["value"]
+			if !ok {
+				return fmt.Errorf("%s: counter without args.value", where)
+			}
+			var v float64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return fmt.Errorf("%s: counter args.value not numeric: %s", where, raw)
+			}
+		case "i":
+			if e.Scope == "" {
+				return fmt.Errorf("%s: instant without scope", where)
+			}
+		}
+		counts[e.Phase]++
+	}
+	fmt.Printf("tracecheck: %s ok — %d events (counters %d, instants %d, metadata %d)\n",
+		path, len(tf.TraceEvents), counts["C"], counts["i"], counts["M"])
+	return nil
+}

@@ -18,10 +18,12 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -115,6 +117,9 @@ func recoveryShowcase() {
 	cfg := network.DefaultConfig()
 	cfg.VCs = 3 // one escape VC + two adaptive VCs
 	cfg.Recovery = network.RecoveryConfig{Enabled: true}
+	// Instrument this act: the telemetry flight recorder captures the
+	// outage, the detour response, and the repair for the timeline below.
+	cfg.Telemetry = telemetry.Config{Enabled: true, SampleEvery: 512}
 
 	// Find the central router's eastbound link (wiring is deterministic,
 	// so a throwaway instance can be probed for the index).
@@ -175,4 +180,52 @@ func recoveryShowcase() {
 	fmt.Printf("  unreachable drops    %8d\n", rs.UnreachableDrops)
 	fmt.Printf("  discarded flits      %8d\n", rs.DiscardedFlits)
 	fmt.Printf("  reach recomputes     %8d\n", rs.ReachRecomputes)
+
+	printTimeline(n.Telemetry(), failLink)
+}
+
+// printTimeline renders a compact flight-recorder timeline of the outage:
+// the link-down/up markers for the failed link plus a bucketed census of
+// everything else the recorder retained.
+func printTimeline(reg *telemetry.Registry, failLink int) {
+	events := reg.Flight().Events()
+	fmt.Printf("\nflight-recorder timeline (%d events retained, %d evicted):\n",
+		len(events), reg.Flight().Dropped())
+
+	// Headline events for the failed link, in order; everything else is
+	// summarised per 10k-cycle bucket so the timeline stays one screen.
+	const bucket = 10_000
+	counts := map[sim.Cycle]map[telemetry.EventKind]int{}
+	for _, e := range events {
+		if e.Link == failLink &&
+			(e.Kind == telemetry.EventLinkDown || e.Kind == telemetry.EventLinkUp) {
+			fmt.Printf("  cycle %6d  %-12s link %d (the scheduled outage)\n", e.At, e.Kind, e.Link)
+			continue
+		}
+		b := e.At / bucket * bucket
+		if counts[b] == nil {
+			counts[b] = map[telemetry.EventKind]int{}
+		}
+		counts[b][e.Kind]++
+	}
+	buckets := make([]sim.Cycle, 0, len(counts))
+	for b := range counts {
+		buckets = append(buckets, b)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
+	for _, b := range buckets {
+		kinds := make([]string, 0, len(counts[b]))
+		for k := range counts[b] {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		fmt.Printf("  cycle %6d–%-6d", b, b+bucket-1)
+		for _, k := range kinds {
+			fmt.Printf("  %s×%d", k, counts[b][telemetry.EventKind(k)])
+		}
+		fmt.Println()
+	}
+	d := reg.Digest()
+	fmt.Printf("  digest: %d samples across %d series; packet latency p50/p95/p99 = %.0f/%.0f/%.0f cycles\n",
+		d.Samples, d.SeriesCount, d.LatencyP50, d.LatencyP95, d.LatencyP99)
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -19,6 +20,12 @@ type FaultRow struct {
 	NormPower   float64
 	Delivered   int64
 	Rel         stats.Reliability
+
+	// End-of-run level residency (see RerouteResult): links per electrical
+	// level, links off, and whole-run time-at-level fractions.
+	LevelHist   []int64
+	OffLinks    int
+	TimeAtLevel []float64
 }
 
 // Faults extends the paper's evaluation with a degraded-mode study: the
@@ -28,38 +35,52 @@ type FaultRow struct {
 // recovers every fault, so the interesting output is the price paid — the
 // latency and power deltas alongside the raw recovery counters.
 func Faults(s Scale, fc fault.Config) ([]FaultRow, error) {
+	rows, _, err := FaultsInstrumented(s, fc, telemetry.Config{})
+	return rows, err
+}
+
+// FaultsInstrumented is Faults with telemetry wired into the injected run:
+// the returned registry (nil when tc is disabled) carries its time series
+// and flight recorder. The fault-free baseline stays uninstrumented.
+func FaultsInstrumented(s Scale, fc fault.Config, tc telemetry.Config) ([]FaultRow, *telemetry.Registry, error) {
 	const rate = 1.5 // light-moderate: leaves headroom for replay traffic
 
-	run := func(label string, f fault.Config) (FaultRow, error) {
+	run := func(label string, f fault.Config, tc telemetry.Config) (FaultRow, *telemetry.Registry, error) {
 		cfg := s.baseConfig()
 		cfg.Fault = f
+		cfg.Telemetry = tc
 		sys, err := core.NewSystem(cfg, traffic.NewUniform(cfg.Nodes(), rate, s.PacketFlits))
 		if err != nil {
-			return FaultRow{}, err
+			return FaultRow{}, nil, err
 		}
 		sys.Warmup(s.Warmup)
 		r := sys.Measure(s.Measure)
 		if r.Packets == 0 {
-			return FaultRow{}, fmt.Errorf("experiments: faults run %q delivered nothing", label)
+			return FaultRow{}, nil, fmt.Errorf("experiments: faults run %q delivered nothing", label)
 		}
-		return FaultRow{
+		row := FaultRow{
 			Label:       label,
 			MeanLatency: r.MeanLatencyCycles,
 			NormPower:   r.NormPower,
 			Delivered:   r.DeliveredPackets,
 			Rel:         sys.Net.FaultStats(),
-		}, nil
+			TimeAtLevel: sys.Net.TimeAtLevelHistogram(),
+		}
+		lv, off := sys.Net.LevelHistogram()
+		row.LevelHist = levelsToInt64(lv)
+		row.OffLinks = off
+		return row, sys.Net.Telemetry(), nil
 	}
 
-	base, err := run("fault-free", fault.Config{})
+	base, _, err := run("fault-free", fault.Config{}, telemetry.Config{})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	faulty, err := run("injected", fc)
+	faulty, reg, err := run("injected", fc, tc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return []FaultRow{base, faulty}, nil
+	return []FaultRow{base, faulty}, reg, nil
 }
 
 // FaultsReport renders the degraded-mode comparison.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -31,6 +32,13 @@ type RerouteResult struct {
 	LatencyBase float64
 	LatencyFail float64
 	Recovery    stats.Recovery
+
+	// End-of-run level residency of the failed run: links per electrical
+	// level, links switched off, and the whole-run fraction of link-time at
+	// each level (the machine-readable level histogram for optosim -json).
+	LevelHist   []int64
+	OffLinks    int
+	TimeAtLevel []float64
 }
 
 // Reroute runs the power-aware system with fault-aware routing enabled,
@@ -40,6 +48,15 @@ type RerouteResult struct {
 // diverted load onto the detour links, whose controllers answer by
 // climbing the bit-rate ladder — the power knock-on cost of self-healing.
 func Reroute(s Scale) (RerouteResult, error) {
+	r, _, err := RerouteInstrumented(s, telemetry.Config{})
+	return r, err
+}
+
+// RerouteInstrumented is Reroute with telemetry wired into the failed run:
+// the returned registry (nil when tc is disabled) carries its time series
+// and flight recorder for trace export. The fault-free baseline stays
+// uninstrumented — it exists only for the controller-stat comparison.
+func RerouteInstrumented(s Scale, tc telemetry.Config) (RerouteResult, *telemetry.Registry, error) {
 	const rate = 3.3 // the paper's medium load: enough to make detours visible
 
 	cfg := s.baseConfig()
@@ -48,9 +65,10 @@ func Reroute(s Scale) (RerouteResult, error) {
 	cfg.Recovery = network.RecoveryConfig{Enabled: true}
 	center := cfg.RouterAt(cfg.MeshW/2, cfg.MeshH/2)
 
-	run := func(fc fault.Config) (*network.Network, error) {
+	run := func(fc fault.Config, tc telemetry.Config) (*network.Network, error) {
 		c := cfg
 		c.Fault = fc
+		c.Telemetry = tc
 		n, err := network.New(c, traffic.NewUniform(c.Nodes(), rate, s.PacketFlits))
 		if err != nil {
 			return nil, err
@@ -61,22 +79,22 @@ func Reroute(s Scale) (RerouteResult, error) {
 		return n, nil
 	}
 
-	base, err := run(fault.Config{})
+	base, err := run(fault.Config{}, telemetry.Config{})
 	if err != nil {
-		return RerouteResult{}, err
+		return RerouteResult{}, nil, err
 	}
 	failLink := base.MeshLinkIndex(center, network.DirE)
 	if failLink < 0 {
-		return RerouteResult{}, fmt.Errorf("experiments: center router has no east link")
+		return RerouteResult{}, nil, fmt.Errorf("experiments: center router has no east link")
 	}
 	failed, err := run(fault.Config{LinkFailures: []fault.LinkFailure{
 		{Link: failLink, At: s.Warmup, RepairAt: s.Warmup + s.Measure + 1},
-	}})
+	}}, tc)
 	if err != nil {
-		return RerouteResult{}, err
+		return RerouteResult{}, nil, err
 	}
 	if failed.DeliveredPackets() == 0 {
-		return RerouteResult{}, fmt.Errorf("experiments: reroute run delivered nothing")
+		return RerouteResult{}, nil, fmt.Errorf("experiments: reroute run delivered nothing")
 	}
 
 	// Mesh links are wired before node links and, under a power-aware
@@ -102,7 +120,11 @@ func Reroute(s Scale) (RerouteResult, error) {
 		LatencyBase: base.MeanLatency(),
 		LatencyFail: failed.MeanLatency(),
 		Recovery:    failed.RecoveryStats(),
+		TimeAtLevel: failed.TimeAtLevelHistogram(),
 	}
+	lv, off := failed.LevelHistogram()
+	res.LevelHist = levelsToInt64(lv)
+	res.OffLinks = off
 	for _, pr := range probes {
 		li := base.MeshLinkIndex(pr.router, pr.dir)
 		if li < 0 {
@@ -119,7 +141,16 @@ func Reroute(s Scale) (RerouteResult, error) {
 			HoldsFail: sf.Holds,
 		})
 	}
-	return res, nil
+	return res, failed.Telemetry(), nil
+}
+
+// levelsToInt64 widens Network.LevelHistogram's counts for the JSON summary.
+func levelsToInt64(lv []int) []int64 {
+	out := make([]int64, len(lv))
+	for i, v := range lv {
+		out[i] = int64(v)
+	}
+	return out
 }
 
 // RerouteReport renders the reroute load-shift study.

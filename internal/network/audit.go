@@ -2,6 +2,8 @@ package network
 
 import (
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // Audit verifies the network's conservation invariants at the current
@@ -19,8 +21,19 @@ import (
 //  2. Buffer occupancy within capacity.
 //  3. No negative credit counters.
 //
-// It returns an error describing the first violation found.
+// It returns an error describing the first violation found. A failure also
+// triggers the telemetry flight-recorder dump (when enabled): the recent
+// event timeline is the post-mortem for a conservation violation.
 func (n *Network) Audit() error {
+	err := n.audit()
+	if err != nil && n.telem != nil {
+		n.telem.Record(telemetry.Event{At: n.now, Kind: telemetry.EventAuditFail, Link: -1, Router: -1})
+		n.telem.TriggerDump(n.now, "audit_fail")
+	}
+	return err
+}
+
+func (n *Network) audit() error {
 	cfg := n.cfg
 	for r, rt := range n.routers {
 		for p := 0; p < cfg.PortsPerRouter(); p++ {

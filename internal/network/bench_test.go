@@ -3,6 +3,7 @@ package network
 import (
 	"testing"
 
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -51,6 +52,29 @@ func BenchmarkStepHeavy(b *testing.B)  { benchStepAtLoad(b, 5.05, true) }
 
 // BenchmarkStepNonPA isolates the policy controllers' overhead.
 func BenchmarkStepNonPA(b *testing.B) { benchStepAtLoad(b, 3.3, false) }
+
+func benchTelemetry(b *testing.B, enabled bool) {
+	cfg := DefaultConfig()
+	cfg.Telemetry = telemetry.Config{Enabled: enabled} // default 1024-cycle sampling
+	n := MustNew(cfg, traffic.NewUniform(cfg.Nodes(), 3.3, 5))
+	n.RunTo(5_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+	b.StopTimer()
+	if n.DeliveredPackets() == 0 {
+		b.Fatal("network delivered nothing")
+	}
+}
+
+// BenchmarkStepTelemetryOff / BenchmarkStepTelemetryOn bracket the
+// telemetry subsystem's overhead on a loaded full-scale system at the
+// default sampling period — the acceptance budget is <3%. Compare with:
+//
+//	go test -run xxx -bench 'StepTelemetry' -count 5 ./internal/network | benchstat
+func BenchmarkStepTelemetryOff(b *testing.B) { benchTelemetry(b, false) }
+func BenchmarkStepTelemetryOn(b *testing.B)  { benchTelemetry(b, true) }
 
 // BenchmarkBuild measures full-system wiring cost (1248 links, 64 routers).
 func BenchmarkBuild(b *testing.B) {

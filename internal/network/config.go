@@ -12,6 +12,7 @@ import (
 	"repro/internal/linkmodel"
 	"repro/internal/policy"
 	"repro/internal/powerlink"
+	"repro/internal/telemetry"
 )
 
 // Port roles within a router: ports [0, NodesPerRack) are local
@@ -86,6 +87,11 @@ type Config struct {
 	// avoidance, and the stall watchdog. The zero value disables the
 	// subsystem entirely; see RecoveryConfig.
 	Recovery RecoveryConfig
+	// Telemetry configures the observability subsystem: wheel-driven
+	// time-series probes, the flight recorder, and trace exporters. The
+	// zero value disables it; a disabled network is byte-identical to a
+	// build without the telemetry package.
+	Telemetry telemetry.Config
 }
 
 // DefaultConfig returns the paper's system: 64 racks in an 8×8 mesh, 8
@@ -139,6 +145,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Recovery.validateFor(c.VCs); err != nil {
+		return err
+	}
+	if err := c.Telemetry.Validate(); err != nil {
 		return err
 	}
 	return nil

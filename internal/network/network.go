@@ -10,6 +10,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -87,6 +88,12 @@ type Network struct {
 	// OnDeliver, when set, observes every delivered packet (measured or
 	// not) — used by the experiment harnesses to build time series.
 	OnDeliver func(now sim.Cycle, p *router.Packet, latency sim.Cycle)
+
+	// telem is the telemetry registry, nil unless cfg.Telemetry.Enabled;
+	// telemLat is its "packet_latency" histogram, cached for the delivery
+	// hot path.
+	telem    *telemetry.Registry
+	telemLat *stats.Histogram
 }
 
 // New assembles a network from cfg with traffic generator gen (nil for a
@@ -302,6 +309,10 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 		}
 	}
 
+	// Telemetry last, so its probes and notify-chain hooks see the fully
+	// wired system (channels, injector, recovery). No-op when disabled.
+	n.initTelemetry()
+
 	// Traffic sources. The master generator is stream 0 of the seed —
 	// byte-identical to the pre-stream NewRNG(seed) derivation.
 	if gen != nil {
@@ -462,6 +473,9 @@ func (n *Network) sinkDeliver(out *router.Output) router.DeliverFunc {
 				n.latMax = lat
 			}
 			n.latHist.Record(lat)
+			if n.telemLat != nil {
+				n.telemLat.Record(lat)
+			}
 		}
 		if n.OnDeliver != nil {
 			n.OnDeliver(now, p, lat)
@@ -596,11 +610,12 @@ func (n *Network) RunTo(t sim.Cycle) {
 // sources have no queued injections, every injected packet was delivered
 // or dropped-and-counted, no events are scheduled, and no NIC or output
 // holds work. A network with an open-loop (infinite) generator never
-// quiesces.
+// quiesces. Telemetry's wheel events (the recurring sampler, future fault
+// markers) are subtracted: they observe the simulation, they are not work.
 func (n *Network) Quiescent() bool {
 	return n.inj.len() == 0 &&
 		n.deliveredPkts+n.droppedPkts == n.injectedPkts &&
-		n.wheel.Pending() == 0 &&
+		n.wheel.Pending() == n.telemPending() &&
 		len(n.activeNICs) == 0 && len(n.activeOuts) == 0
 }
 

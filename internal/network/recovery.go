@@ -6,6 +6,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // RecoveryConfig enables fault-aware routing and the self-healing recovery
@@ -256,6 +257,10 @@ func (rec *recovery) scan(now sim.Cycle) {
 				if p := r.KillHOL(now, ivc); p != nil {
 					rec.wdDrops++
 					rec.n.droppedPkts++
+					if t := rec.n.telem; t != nil {
+						t.Record(telemetry.Event{At: now, Kind: telemetry.EventWatchdogKill, Link: -1, Router: rid, A: int64(stall)})
+						t.TriggerDump(now, "watchdog_kill")
+					}
 				}
 				continue
 			}
@@ -266,6 +271,10 @@ func (rec *recovery) scan(now sim.Cycle) {
 			}
 			if r.RerouteHOL(now, ivc, port, mask) {
 				rec.wdReroutes++
+				if t := rec.n.telem; t != nil {
+					t.Record(telemetry.Event{At: now, Kind: telemetry.EventWatchdogReroute, Link: -1, Router: rid, A: int64(stall)})
+					t.TriggerDump(now, "watchdog_reroute")
+				}
 			}
 		}
 	}

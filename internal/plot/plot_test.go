@@ -86,6 +86,62 @@ func TestFixedYRange(t *testing.T) {
 	}
 }
 
+func TestSinglePointSeries(t *testing.T) {
+	// One point degenerates both axis ranges; the chart must still render
+	// (centred, no division by zero) with the point on its polyline.
+	c := &Chart{Title: "dot"}
+	c.Add("p", []float64{3}, []float64{7})
+	svg := render(t, c)
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("single-point series lost")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("degenerate range leaked a non-finite coordinate")
+	}
+}
+
+func TestEmptySeriesAmongValid(t *testing.T) {
+	// A zero-length series must neither error the chart nor emit a curve;
+	// the valid series still renders.
+	c := &Chart{}
+	c.Add("empty", nil, nil)
+	c.Add("ok", []float64{1, 2}, []float64{3, 4})
+	svg := render(t, c)
+	if got := strings.Count(svg, "<polyline"); got != 1 {
+		t.Errorf("%d polylines, want 1 (empty series must be skipped)", got)
+	}
+}
+
+func TestAllNaNSeries(t *testing.T) {
+	// A series of only NaNs contributes no range and no curve.
+	c := &Chart{}
+	c.Add("nan", []float64{1, 2}, []float64{math.NaN(), math.NaN()})
+	c.Add("ok", []float64{1, 2}, []float64{3, 4})
+	svg := render(t, c)
+	if got := strings.Count(svg, "<polyline"); got != 1 {
+		t.Errorf("%d polylines, want 1 (all-NaN series must be skipped)", got)
+	}
+	// A chart where EVERY point is NaN has no data at all: that is an error,
+	// same as an empty chart.
+	c2 := &Chart{}
+	c2.Add("nan", []float64{1}, []float64{math.NaN()})
+	var buf bytes.Buffer
+	if err := c2.WriteSVG(&buf); err == nil {
+		t.Error("all-NaN chart rendered without error")
+	}
+}
+
+func TestMismatchedXYLengths(t *testing.T) {
+	// Extra x values with no matching y must be ignored, not read out of
+	// bounds.
+	c := &Chart{}
+	c.Add("ragged", []float64{1, 2, 3, 4, 5}, []float64{1, 2})
+	svg := render(t, c)
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("ragged series lost")
+	}
+}
+
 func TestConstantSeries(t *testing.T) {
 	c := &Chart{}
 	c.Add("flat", []float64{1, 2, 3}, []float64{5, 5, 5})

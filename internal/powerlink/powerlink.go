@@ -215,6 +215,12 @@ type Link struct {
 	relockMax   int
 	relockRetry int
 	relockFails int
+
+	// Observability hooks (nil when telemetry is disabled). They fire
+	// during the lazy advance, which can be later than the transition's
+	// logical cycle; the logical cycle is what they are passed.
+	onLevel  func(at sim.Cycle, from, to int)
+	onRelock func(at sim.Cycle, retries int)
 }
 
 // RelockFaults abstracts the fault injector's CDR relock decision: each
@@ -235,6 +241,18 @@ func (l *Link) SetRelockFaults(f RelockFaults, maxRetries int) {
 	l.relock = f
 	l.relockMax = maxRetries
 }
+
+// OnLevelChange installs fn, called each time the electrical level commits
+// (frequency switch completes, wake completes, or the link switches off).
+// at is the logical cycle of the commit — because the state machine is
+// lazily evaluated, fn may run when the link is next observed, which can be
+// after at. Probes must therefore order by at, not call order.
+func (l *Link) OnLevelChange(fn func(at sim.Cycle, from, to int)) { l.onLevel = fn }
+
+// OnRelockFail installs fn, called on each fault-injected CDR relock
+// failure with the consecutive retry count. Same lazy-timing caveat as
+// OnLevelChange.
+func (l *Link) OnRelockFail(fn func(at sim.Cycle, retries int)) { l.onRelock = fn }
 
 // New returns a link in steady state at the highest level with full optical
 // power, as at system start-up.
@@ -357,6 +375,9 @@ func (l *Link) advance(now sim.Cycle) {
 			if l.relock != nil && l.relockRetry < l.relockMax && l.relock.RelockFails() {
 				l.relockRetry++
 				l.relockFails++
+				if l.onRelock != nil {
+					l.onRelock(end, l.relockRetry)
+				}
 				l.setPhase(phaseFreqSwitch, end+l.cfg.Tbr<<uint(l.relockRetry))
 				continue
 			}
@@ -365,6 +386,9 @@ func (l *Link) advance(now sim.Cycle) {
 			decrease := l.target < l.level
 			l.level = l.target
 			l.transitions++
+			if l.onLevel != nil {
+				l.onLevel(end, old, l.level)
+			}
 			if decrease {
 				l.setPhase(phaseVoltDown, end+l.cfg.Tv)
 				// The voltage is still at the old (higher) level while it
@@ -378,6 +402,9 @@ func (l *Link) advance(now sim.Cycle) {
 		case phaseWake:
 			l.level = l.target
 			l.transitions++
+			if l.onLevel != nil {
+				l.onLevel(end, offLevel, l.level)
+			}
 			l.setPhase(phaseSteady, 0)
 		}
 	}
@@ -451,6 +478,37 @@ func (l *Link) EnergyJ(now sim.Cycle) float64 {
 	return l.energyJ
 }
 
+// VddV returns the supply voltage currently applied (V): the voltage of the
+// higher of the operating and target levels (voltage leads frequency on the
+// way up and lags it on the way down), or 0 while the link is off.
+func (l *Link) VddV(now sim.Cycle) float64 {
+	l.advance(now)
+	lv := l.level
+	if l.target > lv {
+		lv = l.target
+	}
+	if lv == offLevel {
+		return 0
+	}
+	return l.cfg.Params.VddAt(l.cfg.LevelRates[lv])
+}
+
+// OpticalPowerW returns the optical power currently in play (W): the
+// attenuator's delivered power for the modulator scheme, or the VCSEL's
+// average emitted power at the present supply. 0 while the link is off.
+func (l *Link) OpticalPowerW(now sim.Cycle) float64 {
+	l.advance(now)
+	if l.level == offLevel && l.target == offLevel {
+		return 0
+	}
+	if l.cfg.Scheme == linkmodel.SchemeVCSEL {
+		p := &l.cfg.Params
+		vdd := l.VddV(now)
+		return p.EmittedOpticalPower(p.VCSELIbias + p.VCSELIm*vdd/p.VddMax/2)
+	}
+	return l.opticalPowerW()
+}
+
 // RequestStep asks the link to move one level up (dir > 0) or down
 // (dir < 0). It returns false when the request cannot start: already at the
 // extreme level, or a transition is still in progress (the policy simply
@@ -503,9 +561,13 @@ func (l *Link) requestDown(now sim.Cycle) bool {
 			return false
 		}
 		l.accrue(now)
+		old := l.level
 		l.level = offLevel
 		l.target = offLevel
 		l.transitions++
+		if l.onLevel != nil {
+			l.onLevel(now, old, offLevel)
+		}
 		l.setPhase(phaseOff, 0)
 		return true
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Summary is a machine-readable digest of one experiment run: the headline
@@ -20,12 +21,24 @@ type Summary struct {
 	Delivered   int64   `json:"delivered,omitempty"`
 	Dropped     int64   `json:"dropped,omitempty"`
 
+	// LevelHistogram is the end-of-run count of links at each electrical
+	// bit-rate level (index = level), and OffLinks the count switched off —
+	// the machine-readable form of Network.LevelHistogram.
+	LevelHistogram []int64 `json:"level_histogram,omitempty"`
+	OffLinks       int     `json:"off_links,omitempty"`
+	// TimeAtLevel is the fraction of link-time spent at each electrical
+	// level over the whole run (sums to <= 1; the remainder is off-time).
+	TimeAtLevel []float64 `json:"time_at_level,omitempty"`
+
 	// Reliability carries the fault-injection / retransmission counters
 	// (nil when the run had no fault layer).
 	Reliability *stats.Reliability `json:"reliability,omitempty"`
 	// Recovery carries the fault-aware routing and stall-watchdog counters
 	// (nil when the run had no recovery subsystem).
 	Recovery *stats.Recovery `json:"recovery,omitempty"`
+	// Telemetry carries the telemetry digest (nil when telemetry was
+	// disabled for the run).
+	Telemetry *telemetry.Digest `json:"telemetry,omitempty"`
 }
 
 // JSON renders the summary as indented JSON.

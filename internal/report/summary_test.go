@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func sampleSummary() Summary {
@@ -17,6 +18,10 @@ func sampleSummary() Summary {
 		NormPower:   0.61,
 		Delivered:   10_000,
 		Dropped:     7,
+
+		LevelHistogram: []int64{10, 0, 2, 5, 30, 177},
+		OffLinks:       4,
+		TimeAtLevel:    []float64{0.4, 0.1, 0.05, 0.05, 0.1, 0.3},
 		Reliability: &stats.Reliability{
 			CorruptedFlits: 120,
 			CrcDrops:       118,
@@ -41,6 +46,17 @@ func sampleSummary() Summary {
 			DownMeshLinks:    1,
 			ReachRecomputes:  4,
 		},
+		Telemetry: &telemetry.Digest{
+			Samples:       120,
+			SeriesCount:   1574,
+			SampleEvery:   1024,
+			Events:        48,
+			DroppedEvents: 3,
+			Dumps:         1,
+			LatencyP50:    110,
+			LatencyP95:    480,
+			LatencyP99:    900,
+		},
 	}
 }
 
@@ -59,7 +75,8 @@ func TestSummaryRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(in, out) {
 		t.Errorf("round trip changed the summary:\nin:  %+v\nout: %+v", in, out)
 	}
-	for _, want := range []string{"reliability", "recovery", "watchdog_drops", "unreachable_drops", "crc_drops"} {
+	for _, want := range []string{"reliability", "recovery", "watchdog_drops", "unreachable_drops", "crc_drops",
+		"level_histogram", "off_links", "time_at_level", "telemetry", "sample_every", "latency_p99"} {
 		if !strings.Contains(string(b), `"`+want+`"`) {
 			t.Errorf("JSON missing %q field:\n%s", want, b)
 		}

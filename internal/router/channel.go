@@ -500,7 +500,18 @@ func (c *Channel) OutstandingFlits() int {
 // SetDownNotify registers a callback invoked whenever a watchdog
 // escalation resets the link (scheduled failure windows are known to the
 // recovery layer up front; escalations are the only surprise downtime).
-func (c *Channel) SetDownNotify(fn func(now, until sim.Cycle)) { c.downNotify = fn }
+// Multiple registrations chain: each new callback runs after those already
+// installed, so the recovery layer and telemetry can both observe resets.
+func (c *Channel) SetDownNotify(fn func(now, until sim.Cycle)) {
+	if prev := c.downNotify; prev != nil {
+		c.downNotify = func(now, until sim.Cycle) {
+			prev(now, until)
+			fn(now, until)
+		}
+		return
+	}
+	c.downNotify = fn
+}
 
 // DownUntil returns the cycle at which a link that is hard-down at now is
 // expected back up, or now itself when the link is up. Open-ended only for

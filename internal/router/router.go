@@ -100,8 +100,14 @@ type Output struct {
 	wakePending bool
 	wakeEvt     sim.Event
 
-	grants int64
+	grants       int64
+	creditStalls int64
 }
+
+// CreditStalls returns how many grant attempts this output port rejected
+// because the chosen output VC had no downstream credits — a direct measure
+// of backpressure on the port.
+func (o *Output) CreditStalls() int64 { return o.creditStalls }
 
 type outVC struct {
 	credits int
@@ -416,6 +422,17 @@ func (r *Router) DiscardedFlits() int64 { return r.flitsDiscarded }
 // EscapeGrants returns how many flits this router granted onto escape VCs.
 func (r *Router) EscapeGrants() int64 { return r.escGrants }
 
+// BufferedFlits returns the number of flits currently occupying this
+// router's input buffers across all ports and VCs — the telemetry probe for
+// instantaneous VC occupancy.
+func (r *Router) BufferedFlits() int {
+	n := 0
+	for i := range r.ins {
+		n += r.ins[i].buf.Len()
+	}
+	return n
+}
+
 // pickVC selects a free output VC permitted by mask, preferring adaptive
 // VCs over escape VCs; with no escape VCs configured the scan is the
 // historical ascending order.
@@ -497,6 +514,7 @@ func (o *Output) TryGrant(now sim.Cycle) bool {
 		}
 		v := in.outVC
 		if o.ovc[v].credits == 0 {
+			o.creditStalls++
 			continue // downstream buffer full; credit return reactivates us
 		}
 

@@ -266,3 +266,59 @@ func TestWheelPropertyAllFire(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWheelRecurringSamplerBoundsSkips models the telemetry sampler: a
+// self-rearming event every 512 cycles. NextEventAt must surface it as the
+// skip bound at every point in the cycle — including exactly at the
+// boundary — so a fast-forwarding caller can never jump over a sample.
+func TestWheelRecurringSamplerBoundsSkips(t *testing.T) {
+	const period = 512
+	w := NewWheel(4096)
+	var fired []Cycle
+	var rearm func(at Cycle)
+	rearm = func(at Cycle) {
+		w.Schedule(at+period, func(now Cycle) {
+			fired = append(fired, now)
+			rearm(now)
+		})
+	}
+	rearm(0)
+
+	now := Cycle(0)
+	for len(fired) < 10 {
+		next, ok := w.NextEventAt()
+		if !ok {
+			t.Fatal("recurring sampler vanished from the wheel")
+		}
+		if want := Cycle(len(fired)+1) * period; next != want {
+			t.Fatalf("NextEventAt = %d after %d firings, want %d", next, len(fired), want)
+		}
+		// Skip to the cycle just before the event — the legal maximum — then
+		// advance through the boundary itself.
+		if next-1 > now {
+			w.SkipTo(next - 1)
+		}
+		now = next
+		w.Advance(now)
+		if w.Pending() != 1 {
+			t.Fatalf("pending = %d after firing, want 1 (the re-armed sampler)", w.Pending())
+		}
+	}
+	for i, at := range fired {
+		if want := Cycle(i+1) * period; at != want {
+			t.Errorf("sample %d fired at %d, want %d", i, at, want)
+		}
+	}
+
+	// SkipTo at the boundary minus one must leave the event intact even
+	// when the skip lands on the same bucket index modulo wheel size: the
+	// next NextEventAt still finds it one cycle ahead.
+	next, ok := w.NextEventAt()
+	if !ok || next != now+period {
+		t.Fatalf("after loop: NextEventAt = %d,%v, want %d", next, ok, now+period)
+	}
+	w.SkipTo(next - 1)
+	if got, ok := w.NextEventAt(); !ok || got != next {
+		t.Fatalf("NextEventAt after boundary skip = %d,%v, want %d", got, ok, next)
+	}
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// EventKind names a class of discrete flight-recorder event.
+type EventKind string
+
+const (
+	// EventLevelUp / EventLevelDown: a link completed a bit-rate level
+	// transition (A = old level, B = new level).
+	EventLevelUp   EventKind = "level_up"
+	EventLevelDown EventKind = "level_down"
+	// EventRelockFail: a fault-injected CDR relock failure extended a
+	// frequency switch's disable window (A = consecutive retry count).
+	EventRelockFail EventKind = "relock_fail"
+	// EventLinkDown / EventLinkUp: a link entered or left hard-down state
+	// (scheduled failure window or escalated reset).
+	EventLinkDown EventKind = "link_down"
+	EventLinkUp   EventKind = "link_up"
+	// EventLinkReset: a retransmit-watchdog escalation reset a link
+	// (B = the cycle the reset expires).
+	EventLinkReset EventKind = "link_reset"
+	// EventWatchdogReroute: the stall watchdog forced a head-of-line packet
+	// onto the escape network at the given router.
+	EventWatchdogReroute EventKind = "watchdog_reroute"
+	// EventWatchdogKill: the stall watchdog dropped a packet past the drop
+	// horizon at the given router.
+	EventWatchdogKill EventKind = "watchdog_kill"
+	// EventAuditFail: a conservation audit failed.
+	EventAuditFail EventKind = "audit_fail"
+)
+
+// Event is one discrete occurrence worth keeping for a post-mortem.
+type Event struct {
+	// At is the cycle the event logically happened (which, for lazily
+	// evaluated sources, can precede the cycle it was recorded).
+	At sim.Cycle `json:"at"`
+	// Kind classifies the event.
+	Kind EventKind `json:"kind"`
+	// Link is the global link index the event concerns (-1 when not
+	// link-scoped).
+	Link int `json:"link"`
+	// Router is the router the event concerns (-1 when not router-scoped).
+	Router int `json:"router"`
+	// A and B carry kind-specific detail (levels, retry counts, deadlines).
+	A int64 `json:"a,omitempty"`
+	B int64 `json:"b,omitempty"`
+}
+
+// FlightRecorder is a bounded ring of the most recent discrete events.
+type FlightRecorder struct {
+	ev      []Event
+	head    int // index of the oldest retained event
+	n       int
+	dropped int64
+}
+
+// NewFlightRecorder returns a recorder retaining at most cap events.
+func NewFlightRecorder(cap int) *FlightRecorder {
+	if cap <= 0 {
+		cap = 1
+	}
+	return &FlightRecorder{ev: make([]Event, cap)}
+}
+
+// Record appends e, evicting the oldest event when full.
+func (f *FlightRecorder) Record(e Event) {
+	if f.n == len(f.ev) {
+		f.ev[f.head] = e
+		f.head = (f.head + 1) % len(f.ev)
+		f.dropped++
+		return
+	}
+	f.ev[(f.head+f.n)%len(f.ev)] = e
+	f.n++
+}
+
+// Len returns the number of retained events.
+func (f *FlightRecorder) Len() int { return f.n }
+
+// Dropped returns how many events were evicted to make room.
+func (f *FlightRecorder) Dropped() int64 { return f.dropped }
+
+// Events returns the retained events sorted by cycle (stable: same-cycle
+// events keep recording order).
+func (f *FlightRecorder) Events() []Event {
+	out := make([]Event, 0, f.n)
+	for i := 0; i < f.n; i++ {
+		out = append(out, f.ev[(f.head+i)%len(f.ev)])
+	}
+	sortEventsByTime(out)
+	return out
+}
+
+// flightDump is the JSON shape of a flight-recorder dump.
+type flightDump struct {
+	Reason  string  `json:"reason"`
+	At      int64   `json:"at"`
+	Dropped int64   `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// DumpFlight writes the flight recorder as indented JSON: the dump taken at
+// cycle at for the given reason. Used both by the automatic trigger path
+// and by CLIs/examples that want the timeline at end of run.
+func (r *Registry) DumpFlight(w io.Writer, at sim.Cycle, reason string) error {
+	d := flightDump{
+		Reason:  reason,
+		At:      int64(at),
+		Dropped: r.flight.Dropped(),
+		Events:  r.flight.Events(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("telemetry: dumping flight recorder: %w", err)
+	}
+	return nil
+}
+
+// ParseFlightDump is the inverse of DumpFlight (for tests and tooling).
+func ParseFlightDump(b []byte) (reason string, at sim.Cycle, events []Event, err error) {
+	var d flightDump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return "", 0, nil, fmt.Errorf("telemetry: parsing flight dump: %w", err)
+	}
+	return d.Reason, sim.Cycle(d.At), d.Events, nil
+}
+
+// createFile opens path for writing (truncating); split out so the
+// automatic dump path is the only place telemetry touches the filesystem.
+func createFile(path string) (*os.File, error) { return os.Create(path) }
