@@ -1,0 +1,51 @@
+# Local targets mirroring the CI jobs, so `make lint test` before pushing
+# means the blocking jobs will pass.
+
+GO ?= go
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: all build test race shuffle lint vet staticcheck optolint simdebug ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# CI runs the suite shuffled; reproduce an ordering failure locally with
+# `go test -shuffle=<seed> <pkg>` using the seed the failing run printed.
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+# lint is the blocking static-analysis bundle: vet, staticcheck (skipped
+# with a warning when the binary is absent — the toolchain cannot fetch it
+# offline), and the project's own optolint analyzers.
+lint: vet staticcheck optolint
+
+vet:
+	$(GO) vet ./...
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+optolint:
+	$(GO) run ./cmd/optolint ./...
+
+# simdebug builds and tests with the runtime assertion layer compiled in:
+# wheel monotonicity and skip legality, router credit conservation, the
+# periodic network audit, and the core warmup/measure bracket audits.
+simdebug:
+	$(GO) build -tags simdebug ./...
+	$(GO) test -tags simdebug ./internal/sim ./internal/router ./internal/core -count=1
+	$(GO) test -tags simdebug ./internal/network -run 'Chaos|Fault|Audit|Recovery' -count=1
+
+ci: build shuffle lint simdebug race

@@ -1,0 +1,62 @@
+// Command optolint runs the project's custom static analyzers (package
+// repro/internal/lint) over the module and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/optolint [packages...]   # default ./...
+//
+// It is a standalone multichecker rather than a `go vet -vettool` because the
+// vet unitchecker protocol lives in golang.org/x/tools, which this module
+// deliberately does not depend on; the analyzers themselves mirror the
+// x/tools analysis API so they could migrate unchanged.
+//
+// Findings are suppressed by an annotation on the same line or the line
+// directly above, with a mandatory reason:
+//
+//	//optolint:allow <rule> <reason>
+//
+// Run with -rules to list the rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *rules {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optolint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optolint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "optolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

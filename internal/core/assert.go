@@ -1,0 +1,17 @@
+//go:build simdebug
+
+package core
+
+// DebugAsserts mirrors sim.Debug at the system layer: true in -tags
+// simdebug builds, where Warmup and Measure bracket their runs with a full
+// conservation audit.
+const DebugAsserts = true
+
+// debugAudit panics if the network's flit/credit conservation audit fails.
+// It runs at the warmup and measurement boundaries — the two points where
+// every statistic the Result reports is about to be read.
+func (s *System) debugAudit() {
+	if err := s.Net.Audit(); err != nil {
+		panic("simdebug: " + err.Error())
+	}
+}

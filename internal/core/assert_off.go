@@ -1,0 +1,9 @@
+//go:build !simdebug
+
+package core
+
+// DebugAsserts is false in normal builds; see the simdebug variant.
+const DebugAsserts = false
+
+// debugAudit is a no-op in normal builds; see the simdebug variant.
+func (s *System) debugAudit() {}

@@ -89,6 +89,7 @@ func (s *System) Config() network.Config { return s.cfg }
 // energy meter is zeroed.
 func (s *System) Warmup(w sim.Cycle) {
 	s.Net.RunTo(w)
+	s.debugAudit()
 	s.Net.SetMeasureFrom(w)
 	s.measureFrom = w
 	s.warmupEnergy = s.Net.LinkEnergyJ()
@@ -99,6 +100,7 @@ func (s *System) Warmup(w sim.Cycle) {
 func (s *System) Measure(m sim.Cycle) Result {
 	end := s.measureFrom + m
 	s.Net.RunTo(end)
+	s.debugAudit()
 	return s.resultAt(end)
 }
 

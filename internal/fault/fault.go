@@ -189,7 +189,13 @@ func NewInjector(cfg Config, seed uint64) (*Injector, error) {
 		ls := in.state(w.Link)
 		ls.failures = append(ls.failures, w)
 	}
-	for _, ls := range in.links {
+	ids := make([]int, 0, len(in.links))
+	for id := range in.links {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ls := in.links[id]
 		sort.Slice(ls.failures, func(i, j int) bool { return ls.failures[i].At < ls.failures[j].At })
 	}
 	return in, nil

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer forbids, inside sim-core packages, every construct
+// that can make two runs of the same (seed, configuration) differ: wall
+// clocks, the globally-seeded math/rand generators, environment reads, and
+// goroutines (whose interleaving the simulated clock cannot order). The
+// paper's power/BER comparisons are A/B runs that must be bit-identical
+// except for the knob under study, so these are compile-time errors here
+// even though each is fine in cmd/, examples/ and the experiment harnesses.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall clocks, global math/rand, env reads and goroutines in sim-core " +
+		"(same seed must mean same bits)",
+	Run: runDeterminism,
+}
+
+// forbiddenFuncs maps import path -> function name -> short reason.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":       "wall-clock read",
+		"Since":     "wall-clock read",
+		"Until":     "wall-clock read",
+		"Sleep":     "wall-clock wait",
+		"After":     "wall-clock timer",
+		"Tick":      "wall-clock timer",
+		"NewTimer":  "wall-clock timer",
+		"NewTicker": "wall-clock timer",
+		"AfterFunc": "wall-clock timer",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+	},
+}
+
+// randPaths are the stdlib generator packages whose package-level functions
+// draw from a process-global, non-seeded-by-us stream.
+var randPaths = []string{"math/rand", "math/rand/v2"}
+
+func runDeterminism(pass *Pass) error {
+	if !isSimCore(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine in sim-core: scheduling order is outside the simulated clock")
+			case *ast.SelectorExpr:
+				checkForbiddenSelector(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkForbiddenSelector(pass *Pass, sel *ast.SelectorExpr) {
+	for path, funcs := range forbiddenFuncs {
+		if _, ok := selectorFromPkg(pass.TypesInfo, sel, path); !ok {
+			continue
+		}
+		if reason, bad := funcs[sel.Sel.Name]; bad {
+			pass.Reportf(sel.Pos(), "%s.%s in sim-core: %s breaks determinism", path, sel.Sel.Name, reason)
+		}
+		return
+	}
+	if p, ok := selectorFromPkg(pass.TypesInfo, sel, randPaths...); ok {
+		// Type references (rand.Rand, rand.Source) are fine; rand.New and
+		// rand.NewSource are the rngstream analyzer's finding. Everything
+		// else at package level draws from the global generator.
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if _, isType := obj.(*types.TypeName); isType {
+			return
+		}
+		switch sel.Sel.Name {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			return
+		}
+		pass.Reportf(sel.Pos(), "%s.%s in sim-core: the global generator is shared, non-replayable state", p, sel.Sel.Name)
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"reflect"
+	"regexp"
+	"strings"
+)
+
+// JSONTagsAnalyzer guards the JSON summary contract. report.ParseSummary
+// rejects unknown fields, so a field that serializes under its Go name (no
+// tag) or under a camelCase tag silently forks the schema consumers parse.
+// In the contract packages (report, stats, telemetry) every struct that
+// participates in JSON — has at least one json-tagged field — must tag all
+// its exported fields with snake_case names (or "-" to exclude). One
+// diagnostic is reported per struct, at its type declaration, so a single
+// //optolint:allow above the type covers schema-mandated exceptions (e.g.
+// Chrome trace_event's camelCase keys).
+var JSONTagsAnalyzer = &Analyzer{
+	Name: "jsontags",
+	Doc: "JSON-serialized structs in report/stats/telemetry must use snake_case " +
+		"tags and tag every exported field",
+	Run: runJSONTags,
+}
+
+var snakeCaseTag = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runJSONTags(pass *Pass) error {
+	if !jsonContractPaths[pass.Path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkJSONStruct(pass, ts, st)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkJSONStruct(pass *Pass, ts *ast.TypeSpec, st *ast.StructType) {
+	type fieldInfo struct {
+		name     string
+		exported bool
+		tag      string // json tag name, "" if no json key in the tag
+		tagged   bool   // struct tag contains a json key
+	}
+	var fields []fieldInfo
+	anyTagged := false
+	for _, fld := range st.Fields.List {
+		tagName, tagged := "", false
+		if fld.Tag != nil {
+			if jt, ok := reflect.StructTag(strings.Trim(fld.Tag.Value, "`")).Lookup("json"); ok {
+				tagged = true
+				tagName, _, _ = strings.Cut(jt, ",")
+			}
+		}
+		if tagged {
+			anyTagged = true
+		}
+		if len(fld.Names) == 0 {
+			// Embedded field: its own type declaration is checked on its own.
+			continue
+		}
+		for _, name := range fld.Names {
+			fields = append(fields, fieldInfo{
+				name:     name.Name,
+				exported: ast.IsExported(name.Name),
+				tag:      tagName,
+				tagged:   tagged,
+			})
+		}
+	}
+	if !anyTagged {
+		return // not a JSON-serialized struct
+	}
+	var problems []string
+	for _, fi := range fields {
+		if !fi.exported {
+			continue
+		}
+		switch {
+		case !fi.tagged:
+			problems = append(problems, fmt.Sprintf("%s has no json tag (serializes as %q)", fi.name, fi.name))
+		case fi.tag == "":
+			problems = append(problems, fmt.Sprintf("%s has a json tag without a name", fi.name))
+		case fi.tag != "-" && !snakeCaseTag.MatchString(fi.tag):
+			problems = append(problems, fmt.Sprintf("%s tag %q is not snake_case", fi.name, fi.tag))
+		}
+	}
+	if len(problems) == 0 {
+		return
+	}
+	pass.Reportf(ts.Pos(), "struct %s breaks the JSON contract: %s",
+		ts.Name.Name, strings.Join(problems, "; "))
+}

@@ -1,0 +1,118 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func testdata(t *testing.T, rule string) string {
+	t.Helper()
+	return filepath.Join("testdata", "src", rule)
+}
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, testdata(t, "determinism"), "repro/internal/network", lint.DeterminismAnalyzer)
+}
+
+func TestMapRange(t *testing.T) {
+	linttest.Run(t, testdata(t, "maprange"), "repro/internal/router", lint.MapRangeAnalyzer)
+}
+
+func TestRNGStream(t *testing.T) {
+	linttest.Run(t, testdata(t, "rngstream"), "repro/internal/traffic", lint.RNGStreamAnalyzer)
+}
+
+func TestWheelDiscipline(t *testing.T) {
+	linttest.Run(t, testdata(t, "wheeldiscipline"), "repro/internal/router", lint.WheelDisciplineAnalyzer)
+}
+
+func TestJSONTags(t *testing.T) {
+	linttest.Run(t, testdata(t, "jsontags"), "repro/internal/report", lint.JSONTagsAnalyzer)
+}
+
+// TestAllowSuppressesExactlyOne runs the determinism analyzer over a package
+// where an annotated violation sits directly above an identical unannotated
+// one: the annotation must cover the first and only the first.
+func TestAllowSuppressesExactlyOne(t *testing.T) {
+	linttest.Run(t, testdata(t, "allowtest"), "repro/internal/policy", lint.DeterminismAnalyzer)
+}
+
+// TestMalformedAllows checks the annotations linttest cannot express inline
+// (a trailing // want comment would be parsed as the reason): an allow with
+// no reason and an allow with no rule are both findings, and neither
+// suppresses the violation it sits above.
+func TestMalformedAllows(t *testing.T) {
+	pkg, err := lint.LoadDir(testdata(t, "allowbare"), "repro/internal/policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.DeterminismAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Rule+": "+d.Message)
+	}
+	wants := []string{
+		"allowcheck: optolint:allow determinism needs a reason",
+		"allowcheck: optolint:allow needs a rule name and a reason",
+		"determinism: time.Now",
+		"determinism: time.Now",
+	}
+	for _, w := range wants {
+		found := false
+		for i, g := range got {
+			if strings.Contains(g, w) {
+				got = append(got[:i], got[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic containing %q", w)
+		}
+	}
+	for _, g := range got {
+		t.Errorf("unexpected diagnostic: %s", g)
+	}
+}
+
+// TestSimCoreGate: the same violations produce nothing outside sim-core.
+func TestSimCoreGate(t *testing.T) {
+	pkg, err := lint.LoadDir(testdata(t, "determinism"), "repro/cmd/experiment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("diagnostic outside sim-core: %s", d)
+	}
+}
+
+// TestSuiteCleanOnRepo is the self-test CI relies on indirectly: the full
+// analyzer suite over the real module must be finding-free. It exercises the
+// go list loader end to end.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %s", d)
+	}
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRangeAnalyzer flags `for range` over a map in sim-core code. Map
+// iteration order is Go's single biggest nondeterminism source, and float
+// accumulation order changes bits, so a map range is only allowed when its
+// body is provably order-insensitive:
+//
+//   - commutative accumulation: every statement (possibly under ifs) is
+//     `x += e`, `x |= e`, `x ^= e`, `x &= e`, `x++` or `x--` on an
+//     integer-typed lvalue — exact regardless of order (float accumulation
+//     is NOT exempt: (a+b)+c != a+(b+c) in IEEE 754);
+//   - the sorted-keys idiom: the body only collects keys into a slice that
+//     is sorted later in the same function, before any other use.
+//
+// Everything else needs a rewrite (iterate a sorted key slice or a parallel
+// registration-order slice) or an //optolint:allow with a reason.
+var MapRangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc: "flag map iteration in sim-core unless provably order-insensitive " +
+		"(map order is Go's top nondeterminism source)",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	if !isSimCore(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var funcStack []ast.Node // enclosing *ast.FuncDecl / *ast.FuncLit
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, n)
+				ast.Inspect(funcBody(n), visit)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, enclosing(funcStack))
+			}
+			return true
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				funcStack = append(funcStack, fd)
+				ast.Inspect(fd.Body, visit)
+				funcStack = funcStack[:len(funcStack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return nil
+}
+
+func enclosing(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, fn ast.Node) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if commutativeIntAccumulation(pass, rs.Body) {
+		return
+	}
+	if sortedKeyCollection(pass, rs, fn) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "range over map: iteration order is nondeterministic; "+
+		"iterate a sorted key slice, or keep only commutative integer accumulation in the body")
+}
+
+// commutativeIntAccumulation reports whether every statement in body (under
+// arbitrarily nested blocks and ifs) is an order-insensitive integer update.
+func commutativeIntAccumulation(pass *Pass, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false // an empty body means the range is pointless; flag it
+	}
+	var stmtOK func(s ast.Stmt) bool
+	stmtOK = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN:
+			default:
+				return false
+			}
+			for _, lhs := range s.Lhs {
+				if !isIntegerExpr(pass, lhs) {
+					return false
+				}
+			}
+			return true
+		case *ast.IncDecStmt:
+			return isIntegerExpr(pass, s.X)
+		case *ast.IfStmt:
+			if s.Init != nil || s.Else != nil {
+				return false
+			}
+			for _, inner := range s.Body.List {
+				if !stmtOK(inner) {
+					return false
+				}
+			}
+			return true
+		case *ast.BlockStmt:
+			for _, inner := range s.List {
+				if !stmtOK(inner) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	for _, s := range body.List {
+		if !stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedKeyCollection recognises the sorted-keys idiom: the loop body is
+// exactly `keys = append(keys, k)` with k the range key, and the enclosing
+// function sorts that same slice after the loop.
+func sortedKeyCollection(pass *Pass, rs *ast.RangeStmt, fn ast.Node) bool {
+	if fn == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	if arg, ok := call.Args[1].(*ast.Ident); !ok || arg.Name != key.Name {
+		return false
+	}
+	slice := types.ExprString(as.Lhs[0])
+	if types.ExprString(call.Args[0]) != slice {
+		return false
+	}
+	// Look for sort.X(slice, ...) / slices.Sort*(slice, ...) after the loop.
+	sorted := false
+	ast.Inspect(funcBody(fn), func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := selectorFromPkg(pass.TypesInfo, sel, "sort", "slices"); !ok {
+			return true
+		}
+		if types.ExprString(call.Args[0]) == slice {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,12 @@
+// Package allowbare holds malformed //optolint:allow annotations. It is
+// checked by a direct lint.Run test rather than // want comments, because a
+// trailing comment would itself be parsed as the (missing) reason.
+package allowbare
+
+import "time"
+
+//optolint:allow determinism
+func missingReason() { _ = time.Now() }
+
+//optolint:allow
+func missingRule() { _ = time.Now() }

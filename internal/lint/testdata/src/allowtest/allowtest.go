@@ -1,0 +1,24 @@
+// Package allowtest exercises //optolint:allow suppression; linttest loads
+// it under a sim-core import path and runs the determinism analyzer.
+package allowtest
+
+import "time"
+
+// One annotation suppresses exactly one diagnostic: the first (same-line)
+// violation is covered, the identical one on the next line — which the
+// already-consumed annotation would otherwise also reach — still fires.
+func exactlyOne() {
+	_ = time.Now() //optolint:allow determinism boot calibration outside the measured region
+	_ = time.Now() // want "determinism: time.Now"
+}
+
+// An annotation on the line above the violation also suppresses it.
+func lineAbove() {
+	//optolint:allow determinism boot calibration outside the measured region
+	_ = time.Now()
+}
+
+// An annotation that suppresses nothing is itself a finding.
+//
+//optolint:allow determinism stale escape hatch // want "allowcheck: .*suppresses nothing"
+func unusedAllow() {}

@@ -1,0 +1,44 @@
+// Package determinismtest exercises the determinism analyzer; linttest loads
+// it under a sim-core import path.
+package determinismtest
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func badClocks() time.Duration {
+	t0 := time.Now()          // want "determinism: time.Now"
+	time.Sleep(time.Second)   // want "determinism: time.Sleep"
+	<-time.After(time.Second) // want "determinism: time.After"
+	_ = time.NewTimer(1)      // want "determinism: time.NewTimer"
+	return time.Since(t0)     // want "determinism: time.Since"
+}
+
+func badEnv() string {
+	if v, ok := os.LookupEnv("REPRO_DEBUG"); ok { // want "determinism: os.LookupEnv"
+		return v
+	}
+	return os.Getenv("HOME") // want "determinism: os.Getenv"
+}
+
+func badGlobalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "determinism: math/rand.Shuffle"
+	return rand.Intn(10)               // want "determinism: math/rand.Intn"
+}
+
+func badGoroutine(work func()) {
+	go work() // want "determinism: goroutine in sim-core"
+}
+
+// Good: durations and rand types are compile-time values, not clock reads;
+// file I/O and sorting are deterministic.
+func good(r *rand.Rand) time.Duration {
+	var xs []int
+	sort.Ints(xs)
+	_ = r.Uint64()
+	_, _ = os.Create(os.DevNull)
+	return 3 * time.Millisecond
+}

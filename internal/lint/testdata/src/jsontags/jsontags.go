@@ -1,0 +1,38 @@
+// Package jsontagstest exercises the jsontags analyzer; linttest loads it
+// under a JSON-contract import path.
+package jsontagstest
+
+// Good: every exported field carries a snake_case tag; unexported and
+// explicitly-excluded fields are fine.
+type goodSummary struct {
+	MeanLatency float64 `json:"mean_latency_cyc"`
+	P99Latency  float64 `json:"p99_latency_cyc"`
+	Offered     float64 `json:"offered_load"`
+	Excluded    int     `json:"-"`
+	scratch     int
+}
+
+// Good: no json tags anywhere — not a JSON-serialized struct, out of scope.
+type internalOnly struct {
+	Alpha int
+	Beta  float64
+}
+
+// Bad: camelCase tag.
+type badCamel struct { // want "jsontags: .*not snake_case"
+	MeanLatency float64 `json:"meanLatency"`
+}
+
+// Bad: one tagged field makes the struct part of the contract, so the
+// untagged exported field silently serializes under its Go name.
+type badUntagged struct { // want "jsontags: .*no json tag"
+	Mean float64 `json:"mean"`
+	Max  float64
+}
+
+// Bad: both problems; still a single diagnostic at the type.
+type badBoth struct { // want "jsontags: .*no json tag.*not snake_case"
+	Count    int `json:"count"`
+	Dropped  int
+	FlitRate int `json:"FlitRate"`
+}

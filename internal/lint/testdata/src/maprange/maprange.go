@@ -1,0 +1,65 @@
+// Package maprangetest exercises the maprange analyzer; linttest loads it
+// under a sim-core import path.
+package maprangetest
+
+import "sort"
+
+// Good: commutative integer accumulation is exact in any order.
+func goodCounts(m map[int]int) (n, mask int) {
+	for _, v := range m {
+		n += v
+		if v > 0 {
+			mask |= v
+			n++
+		}
+	}
+	return n, mask
+}
+
+// Good: the sorted-keys idiom — collect, sort, then iterate in fixed order.
+func goodSortedKeys(m map[int]float64) float64 {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// Bad: float accumulation order changes bits ((a+b)+c != a+(b+c)).
+func badFloatSum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "maprange: range over map"
+		total += v
+	}
+	return total
+}
+
+// Bad: appending values in map order is order-sensitive.
+func badCollectValues(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "maprange: range over map"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Bad: calls in the body run in nondeterministic order.
+func badCalls(m map[int]int, visit func(int)) {
+	for k := range m { // want "maprange: range over map"
+		visit(k)
+	}
+}
+
+// Bad: keys collected but never sorted before use.
+func badUnsortedKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want "maprange: range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,28 @@
+// Package rngstreamtest exercises the rngstream analyzer; linttest loads it
+// under a sim-core import path (other than repro/internal/sim itself).
+package rngstreamtest
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Good: randomness derived from the scenario seed via the split-stream
+// constructor, or forked from an existing stream.
+func good(seed uint64, parent *sim.RNG) uint64 {
+	r := sim.NewStream(seed, sim.StreamTraffic)
+	f := parent.Fork()
+	return r.Uint64() ^ f.Uint64()
+}
+
+// Bad: ad-hoc stdlib generator, seeded outside the stream-splitting scheme.
+func badStdlib() int {
+	r := rand.New(rand.NewSource(1)) // want "rngstream: math/rand.New" "rngstream: math/rand.NewSource"
+	return r.Intn(10)
+}
+
+// Bad: raw RNG construction bypasses the (seed, stream) derivation.
+func badRawRNG(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed) // want "rngstream: sim.NewRNG outside package sim"
+}

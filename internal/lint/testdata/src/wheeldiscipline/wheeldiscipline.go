@@ -1,0 +1,73 @@
+// Package wheeltest exercises the wheeldiscipline analyzer; linttest loads
+// it under a sim-core import path. The wheel here is a local stand-in — the
+// analyzer matches Schedule calls by name, not by type.
+package wheeltest
+
+type wheel struct{}
+
+func (w *wheel) Schedule(at int, f func())       {}
+func (w *wheel) ScheduleMarker(at int, f func()) {}
+
+type port struct {
+	readyAt     int
+	busyUntilMC int
+	deadline    int
+	timeAtLevel int
+	progressAt  int
+}
+
+type router struct {
+	w *wheel
+	p port
+}
+
+// Good: the deadline write is paired with a direct Schedule in this function.
+func (r *router) goodDirect(now int) {
+	r.p.readyAt = now + 3
+	r.w.Schedule(now+3, func() {})
+}
+
+func (r *router) register(at int) { r.w.Schedule(at, func() {}) }
+
+// Good: register schedules, one transitive hop away.
+func (r *router) goodTransitive(now int) {
+	r.p.busyUntilMC = now + 2
+	r.register(now + 2)
+}
+
+func (r *router) armPump(at int) { r.w.ScheduleMarker(at, func() {}) }
+
+// Good: the arm* helper idiom.
+func (r *router) goodArm(now int) {
+	r.p.deadline = now + 5
+	r.armPump(now + 5)
+}
+
+// Good: stamping the current time is not a future-cycle write.
+func (r *router) goodStamp(now int) {
+	r.p.progressAt = now
+}
+
+// Good: At mid-word — timeAtLevel is not a deadline by the convention.
+func (r *router) goodNotDeadline(now int) {
+	r.p.timeAtLevel = now + 1
+}
+
+// Bad: a future cycle stored for polling, invisible to NextEventAt.
+func (r *router) badPolled(now int) {
+	r.p.readyAt = now + 3 // want "wheeldiscipline: future-cycle deadline write without a wheel Schedule"
+}
+
+// Bad: += pushes the deadline out without rescheduling.
+func (r *router) badExtend() {
+	r.p.deadline += 4 // want "wheeldiscipline: future-cycle deadline write without a wheel Schedule"
+}
+
+// Bad: the closure is its own scope — scheduling in the enclosing function
+// does not pair a write performed later, when the closure runs.
+func (r *router) badClosure(now int) func() {
+	r.w.Schedule(now+1, func() {})
+	return func() {
+		r.p.busyUntilMC = now + 8 // want "wheeldiscipline: future-cycle deadline write without a wheel Schedule"
+	}
+}

@@ -534,8 +534,21 @@ func (n *Network) Step() {
 		n.nextPolicyTick += n.cfg.Policy.Window
 	}
 
+	// 6. simdebug builds re-audit flit/credit conservation periodically, so
+	// a violation halts within debugAuditEvery cycles of its cause instead
+	// of surfacing as corrupt statistics long after.
+	if sim.Debug && now&(debugAuditEvery-1) == 0 {
+		if err := n.audit(); err != nil {
+			panic("simdebug: " + err.Error())
+		}
+	}
+
 	n.now = now + 1
 }
+
+// debugAuditEvery is the simdebug audit period; a power of two so the
+// cheap mask test above works.
+const debugAuditEvery = 2048
 
 // neverCycle is a cycle no simulation reaches; used for "no next event".
 const neverCycle = sim.Cycle(math.MaxInt64)

@@ -568,6 +568,11 @@ func (o *Output) TryGrant(now sim.Cycle) bool {
 // output's link: a flit left the downstream input buffer, freeing a slot.
 func (o *Output) ReturnCredit(now sim.Cycle, vc int) {
 	o.ovc[vc].credits++
+	if sim.Debug {
+		sim.Assertf(o.ovc[vc].credits <= o.router.depth,
+			"router %d output %d vc %d: %d credits exceed buffer depth %d (credit conservation broken)",
+			o.router.id, o.port, vc, o.ovc[vc].credits, o.router.depth)
+	}
 	if len(o.req) > 0 {
 		o.router.sched.ActivateOutput(o)
 	}

@@ -1,0 +1,18 @@
+//go:build simdebug
+
+package sim
+
+import "fmt"
+
+// Debug is true in -tags simdebug builds. Assertion sites throughout
+// sim-core guard on it (`if sim.Debug { sim.Assertf(...) }`), so in normal
+// builds the constant-false branch — and every assertion expression behind
+// it — compiles away entirely.
+const Debug = true
+
+// Assertf panics with the formatted message when cond is false.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("simdebug: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !simdebug
+
+package sim
+
+// Debug is false in normal builds: every `if sim.Debug { ... }` assertion
+// block is dead code the compiler eliminates. Build with -tags simdebug to
+// turn the runtime assertion layer on.
+const Debug = false
+
+// Assertf is a no-op in normal builds; see the simdebug variant.
+func Assertf(cond bool, format string, args ...any) {}

@@ -67,6 +67,12 @@ func (w *Wheel) Schedule(at Cycle, ev Event) {
 // presented in increasing order; gaps are allowed only when every skipped
 // cycle is known to be event-free (see NextEventAt and SkipTo).
 func (w *Wheel) Advance(now Cycle) {
+	if Debug {
+		Assertf(now >= w.now, "wheel: Advance(%d) moves the clock backwards from %d", now, w.now)
+		if next, ok := w.NextEventAt(); ok {
+			Assertf(next >= now, "wheel: Advance(%d) would skip over the event scheduled at %d", now, next)
+		}
+	}
 	w.now = now
 	w.advancing = true
 	// Pull matured far events into the current bucket first.
@@ -100,6 +106,11 @@ func (w *Wheel) Advance(now Cycle) {
 // when now <= w.now.
 func (w *Wheel) SkipTo(now Cycle) {
 	if now > w.now {
+		if Debug {
+			if next, ok := w.NextEventAt(); ok {
+				Assertf(next > now, "wheel: SkipTo(%d) would skip over the event scheduled at %d", now, next)
+			}
+		}
 		w.now = now
 	}
 }

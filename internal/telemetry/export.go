@@ -29,6 +29,8 @@ type traceEvent struct {
 }
 
 // traceFile is the top-level JSON object Chrome/Perfetto accept.
+//
+//optolint:allow jsontags camelCase keys are mandated by the Chrome trace_event schema
 type traceFile struct {
 	TraceEvents     []traceEvent   `json:"traceEvents"`
 	DisplayTimeUnit string         `json:"displayTimeUnit"`
