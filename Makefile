@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race shuffle lint vet staticcheck optolint simdebug ci
+.PHONY: all build test race shuffle lint vet staticcheck optolint simdebug ci bench-snapshot
 
 all: build test
 
@@ -49,3 +49,15 @@ simdebug:
 	$(GO) test -tags simdebug ./internal/network -run 'Chaos|Fault|Audit|Recovery' -count=1
 
 ci: build shuffle lint simdebug race
+
+# bench-snapshot records the hot-path benchmarks into a benchstat-compatible
+# JSON snapshot. Set BENCH_LABEL to distinguish runs (e.g. pre-parallel /
+# post-parallel) within the same snapshot file:
+#   make bench-snapshot BENCH_OUT=BENCH_6.json BENCH_LABEL=post-parallel
+BENCH_OUT ?= BENCH.json
+BENCH_LABEL ?= local
+BENCH_PATTERN ?= Step|Build|LevelHistogram
+
+bench-snapshot:
+	$(GO) test -run NONE -bench '$(BENCH_PATTERN)' -benchmem ./internal/network | \
+		$(GO) run ./cmd/benchsnap -out $(BENCH_OUT) -label $(BENCH_LABEL)

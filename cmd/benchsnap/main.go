@@ -1,0 +1,156 @@
+// Command benchsnap parses `go test -bench` output from stdin and records
+// it as one labelled run inside a snapshot JSON file (BENCH_<n>.json at the
+// repo root, one file per PR-sized change). A snapshot accumulates runs —
+// typically a "pre" run captured before a performance change and a "post"
+// run after — so the regression history stays in the tree next to the code
+// it measures.
+//
+// The raw benchmark lines are preserved verbatim, so a snapshot stays
+// benchstat-compatible:
+//
+//	jq -r '.runs[] | .header[], .benchmarks[].raw' BENCH_6.json | benchstat /dev/stdin
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem ./internal/network | \
+//	    go run ./cmd/benchsnap -out BENCH_6.json -label post-parallel -note "4 shards"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Raw         string  `json:"raw"`
+}
+
+// Run is one labelled benchmark invocation.
+type Run struct {
+	Label string `json:"label"`
+	Note  string `json:"note,omitempty"`
+	// Cores is runtime.NumCPU() on the recording machine: parallel-scaling
+	// numbers are meaningless without it.
+	Cores      int         `json:"cores"`
+	Header     []string    `json:"header"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Snapshot is the whole BENCH_<n>.json file.
+type Snapshot struct {
+	Snapshot int    `json:"snapshot"`
+	Runs     []Run  `json:"runs"`
+	Doc      string `json:"doc,omitempty"`
+}
+
+// benchLine matches "BenchmarkX-8   123   456 ns/op [789 B/op  2 allocs/op]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// headerLine matches the context lines benchstat needs to group results.
+var headerLine = regexp.MustCompile(`^(goos|goarch|pkg|cpu): `)
+
+func main() {
+	out := flag.String("out", "", "snapshot file to create or append to (required)")
+	label := flag.String("label", "", "label for this run, e.g. pre-parallel (required)")
+	note := flag.String("note", "", "free-form context recorded with the run")
+	snapNum := flag.Int("n", 0, "snapshot number (default: parsed from -out)")
+	flag.Parse()
+	if *out == "" || *label == "" {
+		fmt.Fprintln(os.Stderr, "benchsnap: -out and -label are required")
+		os.Exit(2)
+	}
+
+	run := Run{Label: *label, Note: *note, Cores: runtime.NumCPU()}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		if headerLine.MatchString(line) {
+			run.Header = append(run.Header, line)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		bm := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns, Raw: line}
+		if m[4] != "" {
+			bm.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			bm.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		run.Benchmarks = append(run.Benchmarks, bm)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(run.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		Snapshot: *snapNum,
+		Doc:      "Extract benchstat input with: jq -r '.runs[] | .header[], .benchmarks[].raw' <file>",
+	}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &snap); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: %s exists but is not a snapshot: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if *snapNum != 0 {
+		snap.Snapshot = *snapNum
+	} else if snap.Snapshot == 0 {
+		// Infer from BENCH_<n>.json.
+		base := strings.TrimSuffix(strings.TrimPrefix(strings.ToUpper(filenameOf(*out)), "BENCH_"), ".JSON")
+		if v, err := strconv.Atoi(base); err == nil {
+			snap.Snapshot = v
+		}
+	}
+	// Re-recording a label replaces the old run, so iterating on a change
+	// does not accumulate stale entries.
+	kept := snap.Runs[:0]
+	for _, r := range snap.Runs {
+		if r.Label != run.Label {
+			kept = append(kept, r)
+		}
+	}
+	snap.Runs = append(kept, run)
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsnap: recorded %d benchmarks as %q in %s\n", len(run.Benchmarks), run.Label, *out)
+}
+
+func filenameOf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

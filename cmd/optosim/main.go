@@ -262,6 +262,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON summaries (reliability/recovery counters) instead of tables")
 	svgDir := flag.String("svg", "", "also write figure charts as SVG files into this directory")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	shards := flag.Int("shards", 0, "parallel-core shard count; must divide the mesh width (0 = sequential, results identical)")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: optosim [-full] [-csv] [-seed N] <experiment>...|all\n")
@@ -296,6 +297,7 @@ func main() {
 		scale = experiments.FullScale()
 	}
 	scale.Seed = *seed
+	scale.Shards = *shards
 
 	if !*jsonOut {
 		// Fig 7 depends on trace synthesis; mention the substitution once.

@@ -35,6 +35,11 @@ type Scale struct {
 	PacketFlits int
 	// Seed drives the whole suite.
 	Seed uint64
+	// Shards is the parallel-core shard count passed through to every
+	// network the harness builds (0/1 = sequential). Results are
+	// byte-identical across shard counts (DESIGN.md §6g), so this is
+	// purely a wall-clock knob.
+	Shards int
 }
 
 // FullScale reproduces the paper's sweeps at full length.
@@ -73,5 +78,6 @@ func QuickScale() Scale {
 func (s Scale) baseConfig() network.Config {
 	cfg := network.DefaultConfig()
 	cfg.Seed = s.Seed
+	cfg.Shards = s.Shards
 	return cfg
 }

@@ -43,6 +43,15 @@ var forbiddenFuncs = map[string]map[string]string{
 // draw from a process-global, non-seeded-by-us stream.
 var randPaths = []string{"math/rand", "math/rand/v2"}
 
+// goAllowedPaths is the shard-runner allowlist: internal/shardrun is the
+// one sim-core package permitted to start goroutines, because its Pool
+// barriers every batch and its Ring is SPSC — the OS scheduler's
+// interleaving is unobservable (DESIGN.md §6g). Clocks, randomness and env
+// reads stay banned there like everywhere else in sim-core.
+var goAllowedPaths = map[string]bool{
+	"repro/internal/shardrun": true,
+}
+
 func runDeterminism(pass *Pass) error {
 	if !isSimCore(pass.Path) {
 		return nil
@@ -51,7 +60,9 @@ func runDeterminism(pass *Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "goroutine in sim-core: scheduling order is outside the simulated clock")
+				if !goAllowedPaths[pass.Path] {
+					pass.Reportf(n.Pos(), "goroutine in sim-core: scheduling order is outside the simulated clock")
+				}
 			case *ast.SelectorExpr:
 				checkForbiddenSelector(pass, n)
 			}

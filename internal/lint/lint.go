@@ -19,6 +19,8 @@
 //	                Schedule in the same function
 //	jsontags        JSON-serialized structs in report/stats/telemetry use
 //	                snake_case tags with no untagged exported fields
+//	mailboxorder    draining a shard mailbox requires a sort first, so the
+//	                merge order never depends on the shard partition
 //
 // A finding is suppressed by an annotation on the same line or the line
 // directly above:
@@ -216,6 +218,7 @@ func Analyzers() []*Analyzer {
 		RNGStreamAnalyzer,
 		WheelDisciplineAnalyzer,
 		JSONTagsAnalyzer,
+		MailboxOrderAnalyzer,
 	}
 }
 
@@ -234,6 +237,7 @@ var simCorePaths = map[string]bool{
 	"repro/internal/traffic":   true,
 	"repro/internal/telemetry": true,
 	"repro/internal/stats":     true,
+	"repro/internal/shardrun":  true,
 }
 
 // jsonContractPaths are the packages whose JSON output forms the -json

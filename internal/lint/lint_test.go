@@ -34,6 +34,17 @@ func TestJSONTags(t *testing.T) {
 	linttest.Run(t, testdata(t, "jsontags"), "repro/internal/report", lint.JSONTagsAnalyzer)
 }
 
+func TestMailboxOrder(t *testing.T) {
+	linttest.Run(t, testdata(t, "mailboxorder"), "repro/internal/network", lint.MailboxOrderAnalyzer)
+}
+
+// TestShardRunGoAllowlist: internal/shardrun may start goroutines (the
+// sharded core's sanctioned concurrency substrate), but the rest of the
+// determinism rule — clocks, env, global rand — still applies there.
+func TestShardRunGoAllowlist(t *testing.T) {
+	linttest.Run(t, testdata(t, "shardrungo"), "repro/internal/shardrun", lint.DeterminismAnalyzer)
+}
+
 // TestAllowSuppressesExactlyOne runs the determinism analyzer over a package
 // where an annotated violation sits directly above an identical unannotated
 // one: the annotation must cover the first and only the first.

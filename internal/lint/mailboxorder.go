@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MailboxOrderAnalyzer enforces the sharded core's merge discipline
+// (DESIGN.md §6g): per-shard mailboxes (downMailbox, flightMailbox, …) are
+// filled concurrently in shard order, so anything draining one must sort by
+// the edge/link key before iterating — otherwise the drain order depends on
+// the shard partition and output diverges across shard counts. The rule
+// fires on any sim-core `range` over a mailbox — directly, or over a local
+// that was filled from one — in a function that never calls a sort.
+var MailboxOrderAnalyzer = &Analyzer{
+	Name: "mailboxorder",
+	Doc: "require a sort before ranging over a shard mailbox in sim-core " +
+		"(unsorted drains make output depend on the shard count)",
+	Run: runMailboxOrder,
+}
+
+// isMailboxName reports whether an identifier names a shard mailbox. The
+// convention is load-bearing: per-shard spools that need a sorted drain are
+// named *Mailbox; spools that are canonical by construction (staged
+// schedules, deliveries — replayed in shard order, which IS the global
+// order) deliberately are not.
+func isMailboxName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "mailbox")
+}
+
+// exprName returns the rightmost identifier of x ("s.downMailbox" →
+// "downMailbox"), or "".
+func exprName(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// sortFuncs are the recognised sorting calls, by package.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Ints": true, "Strings": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func runMailboxOrder(pass *Pass) error {
+	if !isSimCore(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMailboxFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkMailboxFunc(pass *Pass, fn *ast.FuncDecl) {
+	// Pass 1: does the function sort at all, and which locals are filled
+	// from a mailbox? Position-insensitive on purpose — flagging only
+	// sort-after-range would miss nothing real (an unsorted drain diverges
+	// regardless of what happens later) and would complicate the rule.
+	sorts := false
+	tainted := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				for path, funcs := range sortFuncs {
+					if _, ok := selectorFromPkg(pass.TypesInfo, sel, path); ok && funcs[sel.Sel.Name] {
+						sorts = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// `notes = append(notes, s.downMailbox...)` taints notes: the
+			// local inherits the mailbox's unsorted shard-order contents.
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				name, mailboxRHS := exprName(n.Lhs[i]), false
+				ast.Inspect(rhs, func(m ast.Node) bool {
+					if e, ok := m.(ast.Expr); ok && isMailboxName(exprName(e)) {
+						mailboxRHS = true
+					}
+					return true
+				})
+				if name != "" && mailboxRHS {
+					tainted[name] = true
+				}
+			}
+		}
+		return true
+	})
+	if sorts {
+		return
+	}
+	// Pass 2: report every range over a mailbox or a mailbox-filled local.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		name := exprName(rng.X)
+		switch {
+		case isMailboxName(name):
+			pass.Reportf(rng.Pos(), "range over shard mailbox %s without a sort: drain order would depend on the shard partition", name)
+		case tainted[name]:
+			pass.Reportf(rng.Pos(), "range over %s (filled from a shard mailbox) without a sort: drain order would depend on the shard partition", name)
+		}
+		return true
+	})
+}

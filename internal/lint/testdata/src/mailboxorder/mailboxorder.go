@@ -1,0 +1,54 @@
+// Package mailboxordertest exercises the mailboxorder analyzer; linttest
+// loads it under a sim-core import path.
+package mailboxordertest
+
+import "sort"
+
+type note struct{ link, until int }
+
+type shard struct {
+	downMailbox   []note
+	flightMailbox []note
+	staged        []note // not a mailbox: canonical by construction
+}
+
+// Bad: draining the mailbox directly in shard order.
+func badDirectDrain(shards []*shard, apply func(note)) {
+	for _, s := range shards {
+		for _, dn := range s.downMailbox { // want "mailboxorder: range over shard mailbox downMailbox"
+			apply(dn)
+		}
+	}
+}
+
+// Bad: merging into a local launders the name but not the shard order.
+func badMergedDrain(shards []*shard, apply func(note)) {
+	var notes []note
+	for _, s := range shards {
+		notes = append(notes, s.downMailbox...)
+	}
+	for _, dn := range notes { // want "mailboxorder: range over notes .filled from a shard mailbox."
+		apply(dn)
+	}
+}
+
+// Good: the canonical drain — merge, sort by edge, then iterate.
+func goodSortedDrain(shards []*shard, apply func(note)) {
+	var notes []note
+	for _, s := range shards {
+		notes = append(notes, s.flightMailbox...)
+	}
+	sort.Slice(notes, func(i, j int) bool { return notes[i].link < notes[j].link })
+	for _, dn := range notes {
+		apply(dn)
+	}
+}
+
+// Good: non-mailbox spools are replayed in shard order by design.
+func goodStagedReplay(shards []*shard, apply func(note)) {
+	for _, s := range shards {
+		for _, ev := range s.staged {
+			apply(ev)
+		}
+	}
+}

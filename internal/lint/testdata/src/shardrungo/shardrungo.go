@@ -1,0 +1,20 @@
+// Package shardrungotest exercises the determinism analyzer's shard-runner
+// allowlist; linttest loads it as repro/internal/shardrun. Goroutines are
+// sanctioned here — everything else in the rule still applies.
+package shardrungotest
+
+import "time"
+
+// Good: the whole point of the allowlist.
+func workerLoop(tasks chan func()) {
+	go func() {
+		for t := range tasks {
+			t()
+		}
+	}()
+}
+
+// Bad: the allowlist covers goroutines only, not clocks.
+func badClock() time.Time {
+	return time.Now() // want "determinism: time.Now"
+}

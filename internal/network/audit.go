@@ -85,7 +85,9 @@ func (n *Network) audit() error {
 			// counts them across VCs, so apply it to each VC's bound
 			// conservatively; the upper bound (no credit re-materialises,
 			// no flit delivered twice) stays exact.
-			slack := 3 + up.Channel().OutstandingFlits()
+			// The reliable receive path holds accepted flits for one cycle
+			// in the rx pipeline register; those widen the bracket too.
+			slack := 3 + up.Channel().OutstandingFlits() + up.Channel().RxPending()
 			for v := 0; v < cfg.VCs; v++ {
 				sum := up.Credits(v) + down.InputBuffer(cfg.meshPort(h[1]), v).Len()
 				if sum > cfg.BufDepth || sum < cfg.BufDepth-slack {

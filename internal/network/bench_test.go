@@ -1,6 +1,7 @@
 package network
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/telemetry"
@@ -75,6 +76,66 @@ func benchTelemetry(b *testing.B, enabled bool) {
 //	go test -run xxx -bench 'StepTelemetry' -count 5 ./internal/network | benchstat
 func BenchmarkStepTelemetryOff(b *testing.B) { benchTelemetry(b, false) }
 func BenchmarkStepTelemetryOn(b *testing.B)  { benchTelemetry(b, true) }
+
+// BenchmarkStepParallel measures the sharded core at the paper's three
+// load points across shard counts. Speedup over shards=1 requires real
+// cores: on a single-core runner the extra shards only add barrier cost,
+// so judge scaling by the per-shard work division, not wall clock.
+func BenchmarkStepParallel(b *testing.B) {
+	loads := []struct {
+		name string
+		rate float64
+	}{
+		{"light", 1.25},
+		{"medium", 3.3},
+		{"heavy", 5.05},
+	}
+	for _, load := range loads {
+		for _, k := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", load.name, k), func(b *testing.B) {
+				cfg := DefaultConfig()
+				cfg.Shards = k
+				n := MustNew(cfg, traffic.NewUniform(cfg.Nodes(), load.rate, 5))
+				defer n.Close()
+				n.RunTo(5_000)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n.Step()
+				}
+				b.StopTimer()
+				if n.DeliveredPackets() == 0 {
+					b.Fatal("network delivered nothing")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLevelHistogram proves summary-time level reads are free of
+// allocation churn: the buckets are preallocated at network build.
+func BenchmarkLevelHistogram(b *testing.B) {
+	n := MustNew(DefaultConfig(), nil)
+	n.RunTo(100)
+	n.LevelHistogram() // warm the lazy link state machines
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if lv, _ := n.LevelHistogram(); len(lv) == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// TestLevelHistogramNoAllocs pins the zero-allocation contract down as a
+// plain test, so a regression fails `go test` and not only a bench diff.
+func TestLevelHistogramNoAllocs(t *testing.T) {
+	n := MustNew(smallConfig(), nil)
+	n.RunTo(10)
+	n.LevelHistogram()
+	if allocs := testing.AllocsPerRun(100, func() { n.LevelHistogram() }); allocs != 0 {
+		t.Errorf("LevelHistogram allocates %v per call, want 0", allocs)
+	}
+}
 
 // BenchmarkBuild measures full-system wiring cost (1248 links, 64 routers).
 func BenchmarkBuild(b *testing.B) {

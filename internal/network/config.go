@@ -92,6 +92,13 @@ type Config struct {
 	// zero value disables it; a disabled network is byte-identical to a
 	// build without the telemetry package.
 	Telemetry telemetry.Config
+	// Shards is the number of spatial shards the simulation core runs on:
+	// the mesh is split into Shards contiguous column tiles, each stepped by
+	// its own worker within a conservative one-cycle lookahead window (see
+	// DESIGN.md §6g). Results are bit-identical for every shard count —
+	// sharding is a performance knob, not a model change. 0 or 1 runs
+	// single-threaded; otherwise Shards must divide MeshW.
+	Shards int
 }
 
 // DefaultConfig returns the paper's system: 64 racks in an 8×8 mesh, 8
@@ -132,6 +139,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("network: VCs must be positive, got %d", c.VCs)
 	case c.BufDepth <= 0:
 		return fmt.Errorf("network: BufDepth must be positive, got %d", c.BufDepth)
+	case c.Shards < 0:
+		return fmt.Errorf("network: Shards must be non-negative, got %d", c.Shards)
+	case c.Shards > 1 && c.MeshW%c.Shards != 0:
+		return fmt.Errorf("network: Shards %d must divide MeshW %d (contiguous column tiles)", c.Shards, c.MeshW)
 	}
 	if err := c.Link.Validate(); err != nil {
 		return err

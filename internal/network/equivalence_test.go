@@ -1,0 +1,171 @@
+package network
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+)
+
+// netShards parameterises the parallel-equivalence tests so CI can pin one
+// shard count (e.g. under the race detector, where the full matrix would be
+// slow):
+//
+//	go test -race ./internal/network -run Parallel -netshards 4
+//
+// When 0 (the default), every shard count in {2, 4, 8} is compared against
+// the sequential (1-shard) engine.
+var netShards = flag.Int("netshards", 0, "when > 0, compare only this shard count against the sequential engine")
+
+func equivShardCounts() []int {
+	if *netShards > 0 {
+		return []int{*netShards}
+	}
+	return []int{2, 4, 8}
+}
+
+// equivConfig is an 8-column mesh (so shard counts up to 8 divide it) with
+// telemetry always on — the flight recorder and sampler are part of the
+// output being compared.
+func equivConfig(routing Routing, pa, faults bool) Config {
+	cfg := DefaultConfig()
+	cfg.MeshW, cfg.MeshH = 8, 4
+	cfg.NodesPerRack = 2
+	cfg.Routing = routing
+	cfg.PowerAware = pa
+	cfg.Seed = 11
+	cfg.Telemetry = telemetry.Config{Enabled: true, SampleEvery: 512, RingCap: 512}
+	if faults {
+		cfg.Fault = fault.Config{
+			BERFloor:       2e-4, // ~0.3%/flit: replay machinery constantly busy
+			RelockFailProb: 0.3,
+			LinkFailures:   []fault.LinkFailure{{Link: 3, At: 3_000, RepairAt: 8_000}},
+		}
+		cfg.Recovery = RecoveryConfig{Enabled: true, ScanEvery: 128, StallHorizon: 512, DropHorizon: 2_048}
+	}
+	return cfg
+}
+
+// runEquiv runs one configuration to quiescence and returns the complete
+// observable output: the report.Summary JSON (latency, power, drops, level
+// and time-at-level histograms, reliability, recovery, telemetry digest)
+// plus the flight-recorder dump text.
+func runEquiv(t *testing.T, cfg Config, shards int) ([]byte, string) {
+	t.Helper()
+	cfg.Shards = shards
+	gen := traffic.NewStoppable(traffic.NewUniform(cfg.Nodes(), 0.3, 5))
+	n, err := New(cfg, gen)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	defer n.Close()
+	var dump bytes.Buffer
+	n.Telemetry().SetDumpWriter(&dump)
+	n.RunTo(10_000)
+	gen.Stop()
+	if !n.RunUntilQuiescent(400_000) {
+		t.Fatalf("shards=%d: network did not drain", shards)
+	}
+	if err := n.Audit(); err != nil {
+		t.Fatalf("shards=%d: audit: %v", shards, err)
+	}
+	lv, off := n.LevelHistogram()
+	hist := make([]int64, len(lv))
+	for i, v := range lv {
+		hist[i] = int64(v)
+	}
+	rel := n.FaultStats()
+	rec := n.RecoveryStats()
+	d := n.Telemetry().Digest()
+	sum := report.Summary{
+		Experiment:     "parallel-equivalence",
+		Seed:           cfg.Seed,
+		MeanLatency:    n.MeanLatency(),
+		NormPower:      n.LinkEnergyJ() / cfg.BaselinePowerW(),
+		Delivered:      n.DeliveredPackets(),
+		Dropped:        n.DroppedPackets(),
+		LevelHistogram: hist,
+		OffLinks:       off,
+		TimeAtLevel:    n.TimeAtLevelHistogram(),
+		Reliability:    &rel,
+		Recovery:       &rec,
+		Telemetry:      &d,
+	}
+	js, err := sum.JSON()
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	n.Telemetry().TriggerDump(n.Now(), "equivalence")
+	return js, dump.String()
+}
+
+// TestParallelEquivalence is the tentpole invariant of the sharded core:
+// for every routing scheme × power-awareness × fault/recovery combination,
+// every shard count produces byte-identical report.Summary JSON and
+// telemetry output to the sequential engine. Sharding is a performance
+// knob, not a model change.
+func TestParallelEquivalence(t *testing.T) {
+	routings := []struct {
+		name string
+		r    Routing
+	}{
+		{"xy", RoutingXY},
+		{"yx", RoutingYX},
+		{"westfirst", RoutingWestFirst},
+	}
+	for _, rt := range routings {
+		for _, pa := range []bool{true, false} {
+			for _, faults := range []bool{false, true} {
+				name := fmt.Sprintf("%s/pa=%v/faults=%v", rt.name, pa, faults)
+				t.Run(name, func(t *testing.T) {
+					cfg := equivConfig(rt.r, pa, faults)
+					baseJS, baseDump := runEquiv(t, cfg, 1)
+					for _, k := range equivShardCounts() {
+						js, dump := runEquiv(t, cfg, k)
+						if !bytes.Equal(js, baseJS) {
+							t.Errorf("shards=%d summary diverges from sequential:\n--- shards=1\n%s\n--- shards=%d\n%s", k, baseJS, k, js)
+						}
+						if dump != baseDump {
+							t.Errorf("shards=%d flight-recorder dump diverges from sequential", k)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelFastForwardEquivalence checks that idle-gap skipping commutes
+// with sharding: a fast-forwarded 4-shard run equals a cycle-stepped
+// sequential run.
+func TestParallelFastForwardEquivalence(t *testing.T) {
+	cfg := equivConfig(RoutingXY, true, true)
+	run := func(shards int, ff bool) []byte {
+		cfg := cfg
+		cfg.Shards = shards
+		gen := traffic.NewStoppable(traffic.NewUniform(cfg.Nodes(), 0.05, 5))
+		n := MustNew(cfg, gen)
+		defer n.Close()
+		n.SetFastForward(ff)
+		n.RunTo(6_000)
+		gen.Stop()
+		if !n.RunUntilQuiescent(400_000) {
+			t.Fatalf("shards=%d ff=%v: did not drain", shards, ff)
+		}
+		out := fmt.Sprintf("now=%d inj=%d del=%d drop=%d flits=%d mean=%v head=%v min=%d max=%d energy=%v",
+			n.Now(), n.InjectedPackets(), n.DeliveredPackets(), n.DroppedPackets(), n.DeliveredFlits(),
+			n.MeanLatency(), n.MeanHeadLatency(), n.MinLatency(), n.MaxLatency(), n.LinkEnergyJ())
+		return []byte(out)
+	}
+	base := run(1, false)
+	for _, k := range equivShardCounts() {
+		if got := run(k, true); !bytes.Equal(got, base) {
+			t.Errorf("shards=%d fast-forward diverges:\n  base %s\n  got  %s", k, base, got)
+		}
+	}
+}

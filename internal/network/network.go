@@ -3,11 +3,13 @@ package network
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/policy"
 	"repro/internal/powerlink"
 	"repro/internal/router"
+	"repro/internal/shardrun"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -26,10 +28,19 @@ type Network struct {
 	channels    []*router.Channel
 	controllers []*policy.Controller
 
-	pool router.Pool
+	// Sharded core (DESIGN.md §6g). Even a single-shard network runs
+	// through shard 0 — the canonical engine is the only engine, so the
+	// shard count is purely a performance knob.
+	shards     []*shard
+	runner     *shardrun.Pool // nil when len(shards) == 1
+	tasks      []func()
+	stepNow    sim.Cycle // cycle the current parallel region runs at
+	perCol     int       // actor ids per mesh column (see shard.go)
+	shardWidth int       // mesh columns per shard
+	chanOwner  []*shard  // owning shard per global link index
+
 	gen  traffic.Generator
 	rngs []*sim.RNG
-	inj  injHeap
 
 	// routeRNG is the derived stream reserved for randomized routing
 	// decisions (sim.StreamRouting). The built-in routing functions are
@@ -53,11 +64,6 @@ type Network struct {
 	meshLink [][4]int
 	meshRef  []meshPos
 
-	activeOuts []*router.Output
-	activeNICs []*NIC
-	spareOuts  []*router.Output // second buffer for the work-list swap
-	spareNICs  []*NIC
-
 	now sim.Cycle
 
 	// nextPolicyTick caches the next cycle at which the policy controllers
@@ -72,18 +78,17 @@ type Network struct {
 	ffSkips    int64
 	ffCycles   int64
 
-	// Measurement state.
-	measureFrom    sim.Cycle
-	injectedPkts   int64
-	deliveredPkts  int64
-	droppedPkts    int64
-	deliveredFlits int64
-	latCount       int64
-	latSum         float64
-	latMin, latMax sim.Cycle
-	headLatCount   int64
-	headLatSum     float64
-	latHist        stats.Histogram
+	// Measurement state. The per-packet counters live on the shards (see
+	// shard.go) and are summed by the accessors; only the warm-up boundary
+	// and coordinator-side drop count live here.
+	measureFrom sim.Cycle
+	wdDropped   int64 // packets killed by the watchdog scan (coordinator)
+
+	// Coordinator scratch, reused across cycles and summaries.
+	qHist         stats.Histogram   // merged-quantile scratch
+	levelScratch  []int             // LevelHistogram buckets, allocated at build
+	flightScratch []telemetry.Event // flight-spool drain scratch
+	downScratch   []downNote        // down-notification drain scratch
 
 	// OnDeliver, when set, observes every delivered packet (measured or
 	// not) — used by the experiment harnesses to build time series.
@@ -103,11 +108,33 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{
-		cfg:    cfg,
-		wheel:  sim.NewWheel(4096),
-		gen:    gen,
-		latMin: -1,
+		cfg:   cfg,
+		wheel: sim.NewWheel(4096),
+		gen:   gen,
 	}
+
+	// Shards. Actor ids must fit the key space (comfortably true for any
+	// topology near the paper's; the check guards future scale-ups).
+	K := cfg.Shards
+	if K <= 0 {
+		K = 1
+	}
+	n.perCol = cfg.actorsPerCol()
+	n.shardWidth = cfg.MeshW / K
+	if maxID := 1 + cfg.MeshW*n.perCol + cfg.TotalLinks(); maxID > sim.MaxActor {
+		return nil, fmt.Errorf("network: topology needs %d actor ids, exceeding the %d-bit key space", maxID, sim.ActorSrcBits)
+	}
+	n.shards = make([]*shard, K)
+	for i := range n.shards {
+		s := &shard{n: n, idx: i, latMin: -1}
+		n.shards[i] = s
+		n.tasks = append(n.tasks, func() { s.runCycle(n.stepNow) })
+	}
+	if K > 1 {
+		// K-1 workers: the coordinator runs shard 0's window inline.
+		n.runner = shardrun.NewPool(K - 1)
+	}
+	n.levelScratch = make([]int, len(cfg.Link.LevelRates))
 
 	// Routers. The configured scheme's plain port function becomes either
 	// the whole routing function (recovery disabled: any VC, identical to
@@ -138,7 +165,8 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 			BufDepth:  cfg.BufDepth,
 			Route:     route,
 			EscapeVCs: escapeVCs,
-		}, n)
+			Actor:     n.routerActor(r),
+		}, n.shards[n.shardOfRouter(r)])
 	}
 	n.meshOut = make([][4]*router.Channel, cfg.Routers())
 	n.meshLink = make([][4]int, cfg.Routers())
@@ -200,17 +228,22 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 			}
 			inPort := cfg.meshPort(h.revDir) // port at dst facing back
 			outPort := cfg.meshPort(h.dir)
-			ch := router.NewChannel(pl, n.wheel, n.routers[dst].AcceptFlit(inPort))
+			owner := n.shards[n.shardOfRouter(r)]
+			li := len(n.channels)
+			ch := router.NewChannel(pl, owner, n.routers[dst].AcceptFlit(inPort))
+			ch.SetKeys(sim.ActorKey(n.routerActor(r), n.chanSrc(li)),
+				sim.ActorKey(n.routerActor(dst), n.chanSrc(li)))
 			n.routers[r].ConnectOutput(outPort, ch)
 			n.meshOut[r][h.dir] = ch
-			n.meshLink[r][h.dir] = len(n.channels)
+			n.meshLink[r][h.dir] = li
 			n.meshRef = append(n.meshRef, meshPos{r: r, dir: h.dir})
 			bufs := make([]*router.Buffer, cfg.VCs)
 			for v := 0; v < cfg.VCs; v++ {
-				n.routers[dst].SetUpstream(inPort, v, n.routers[r].Output(outPort), v)
+				n.routers[dst].SetUpstream(inPort, v, n.routers[r].Output(outPort), v, n.routerActor(r))
 				bufs[v] = n.routers[dst].InputBuffer(inPort, v)
 			}
 			n.channels = append(n.channels, ch)
+			n.chanOwner = append(n.chanOwner, owner)
 			if err := addController(pl, ch, bufs); err != nil {
 				return nil, err
 			}
@@ -223,21 +256,26 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 	for node := 0; node < nodes; node++ {
 		r := cfg.nodeRouter(node)
 		local := cfg.nodeLocal(node)
+		owner := n.shards[n.shardOfRouter(r)]
 
 		// Injection.
 		plIn, err := newNodeLink()
 		if err != nil {
 			return nil, err
 		}
-		chIn := router.NewChannel(plIn, n.wheel, n.routers[r].AcceptFlit(local))
-		nic := newNIC(n, node, chIn, cfg.VCs, cfg.BufDepth)
+		li := len(n.channels)
+		chIn := router.NewChannel(plIn, owner, n.routers[r].AcceptFlit(local))
+		chIn.SetKeys(sim.ActorKey(n.nicActor(node), n.chanSrc(li)),
+			sim.ActorKey(n.routerActor(r), n.chanSrc(li)))
+		nic := newNIC(n, owner, node, chIn, cfg.VCs, cfg.BufDepth)
 		n.nics[node] = nic
 		bufs := make([]*router.Buffer, cfg.VCs)
 		for v := 0; v < cfg.VCs; v++ {
-			n.routers[r].SetUpstream(local, v, nic, v)
+			n.routers[r].SetUpstream(local, v, nic, v, n.nicActor(node))
 			bufs[v] = n.routers[r].InputBuffer(local, v)
 		}
 		n.channels = append(n.channels, chIn)
+		n.chanOwner = append(n.chanOwner, owner)
 		if nodeAware {
 			if err := addController(plIn, chIn, bufs); err != nil {
 				return nil, err
@@ -246,14 +284,19 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 
 		// Ejection: the node's receive side consumes flits on arrival, so
 		// credits bounce straight back to the router's local output port.
+		// Both ends live in the router's own shard.
 		plOut, err := newNodeLink()
 		if err != nil {
 			return nil, err
 		}
 		out := n.routers[r].Output(local)
-		chOut := router.NewChannel(plOut, n.wheel, n.sinkDeliver(out))
+		li = len(n.channels)
+		chOut := router.NewChannel(plOut, owner, n.sinkDeliver(out, owner))
+		chOut.SetKeys(sim.ActorKey(n.routerActor(r), n.chanSrc(li)),
+			sim.ActorKey(n.routerActor(r), n.chanSrc(li)))
 		n.routers[r].ConnectOutput(local, chOut)
 		n.channels = append(n.channels, chOut)
+		n.chanOwner = append(n.chanOwner, owner)
 		// Ejection terminates at an always-ready sink: no downstream
 		// buffer, so Bu = 0 and the uncongested thresholds apply.
 		if nodeAware {
@@ -296,6 +339,14 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 			if fc.RelockFailProb > 0 {
 				ch.PLink().SetRelockFaults(inj.Relock(i), fc.MaxRelockRetries)
 			}
+			// Watchdog escalations are spooled by the owning shard and
+			// drained at the cycle barrier in link order, where the recovery
+			// and telemetry layers both observe them (replacing the old
+			// per-subsystem notify chain with one K-invariant path).
+			s, link := n.chanOwner[i], i
+			ch.SetDownNotify(func(_, until sim.Cycle) {
+				s.downMailbox = append(s.downMailbox, downNote{link: link, until: until})
+			})
 		}
 	}
 
@@ -323,7 +374,8 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 		}
 		for node := 0; node < nodes; node++ {
 			if at, dst, size, ok := gen.Next(node, -1, n.rngs[node]); ok {
-				n.inj.push(injEvent{at: at, node: int32(node), dst: int32(dst), size: int32(size)})
+				s := n.shards[n.shardOfRouter(cfg.nodeRouter(node))]
+				s.inj.push(injEvent{at: at, node: int32(node), dst: int32(dst), size: int32(size)})
 			}
 		}
 	}
@@ -414,29 +466,10 @@ func (n *Network) routeWestFirst(routerID int, p *router.Packet) int {
 	return best
 }
 
-// Wheel implements router.Scheduler.
+// Wheel returns the global event wheel. Router-facing schedules go through
+// the shards (router.Scheduler); the wheel itself is exposed for the
+// coordinator-band users — recovery, telemetry, tests.
 func (n *Network) Wheel() *sim.Wheel { return n.wheel }
-
-// ActivateOutput implements router.Scheduler.
-func (n *Network) ActivateOutput(o *router.Output) {
-	if !o.Active() {
-		o.SetActive(true)
-		n.activeOuts = append(n.activeOuts, o)
-	}
-	if n.rec != nil {
-		n.rec.armScan(n.now)
-	}
-}
-
-func (n *Network) activateNIC(nc *NIC) {
-	if !nc.active {
-		nc.active = true
-		n.activeNICs = append(n.activeNICs, nc)
-	}
-	if n.rec != nil {
-		n.rec.armScan(n.now)
-	}
-}
 
 // meshPos locates an inter-router link: the router it leaves and the mesh
 // direction it points.
@@ -444,87 +477,104 @@ type meshPos struct {
 	r, dir int
 }
 
-// sinkDeliver builds the delivery function for an ejection link: flits are
-// consumed on arrival, credits return to the router's local output port,
-// and tail flits complete their packet.
-func (n *Network) sinkDeliver(out *router.Output) router.DeliverFunc {
+// sinkDeliver builds the delivery function for an ejection link owned by
+// shard s: flits are consumed on arrival, credits return to the router's
+// local output port, and tail flits complete their packet. Statistics land
+// in the shard's own counters; the single-threaded OnDeliver hook (and its
+// pool recycle) is deferred to the coordinator via the deliveries spool.
+func (n *Network) sinkDeliver(out *router.Output, s *shard) router.DeliverFunc {
 	return func(now sim.Cycle, f router.FlitRef) {
 		out.ReturnCredit(now, int(f.VC))
-		n.deliveredFlits++
+		s.deliveredFlits++
 		if f.IsHead() && f.Pkt.CreatedAt >= n.measureFrom {
 			// Head-arrival latency, kept alongside the paper's stated
 			// creation-to-tail-ejection metric; see EXPERIMENTS.md.
-			n.headLatCount++
-			n.headLatSum += float64(now - f.Pkt.CreatedAt)
+			s.headLatCount++
+			s.headLatSum += int64(now - f.Pkt.CreatedAt)
 		}
 		if !f.IsTail() {
 			return
 		}
 		p := f.Pkt
 		lat := now - p.CreatedAt
-		n.deliveredPkts++
+		s.deliveredPkts++
 		if p.CreatedAt >= n.measureFrom {
-			n.latCount++
-			n.latSum += float64(lat)
-			if n.latMin < 0 || lat < n.latMin {
-				n.latMin = lat
+			s.latCount++
+			s.latSum += int64(lat)
+			if s.latMin < 0 || lat < s.latMin {
+				s.latMin = lat
 			}
-			if lat > n.latMax {
-				n.latMax = lat
+			if lat > s.latMax {
+				s.latMax = lat
 			}
-			n.latHist.Record(lat)
+			s.latHist.Record(lat)
 			if n.telemLat != nil {
-				n.telemLat.Record(lat)
+				s.latVals = append(s.latVals, lat)
 			}
 		}
 		if n.OnDeliver != nil {
-			n.OnDeliver(now, p, lat)
+			s.deliveries = append(s.deliveries, deliveredPkt{p: p, lat: lat})
+			return
 		}
-		n.pool.Put(p)
+		s.pool.Put(p)
 	}
 }
 
-// Step advances the simulation by one cycle.
+// Step advances the simulation by one cycle: coordinator band, parallel
+// shard windows, then the barrier drains. Every drain order is independent
+// of the shard count, so results are bit-identical for all K (DESIGN.md
+// §6g).
 func (n *Network) Step() {
 	now := n.now
+	n.stepNow = now
 
-	// 1. Timed events: flit deliveries, credit returns, pipeline
-	//    eligibility, channel/NIC wake-ups.
-	n.wheel.Advance(now)
-
-	// 2. New traffic.
-	for n.inj.len() > 0 && n.inj.top().at <= now {
-		ev := n.inj.pop()
-		nc := n.nics[ev.node]
-		nc.enqueue(pktDesc{created: ev.at, dst: ev.dst, size: ev.size})
-		n.injectedPkts++
-		n.activateNIC(nc)
-		if at, dst, size, ok := n.gen.Next(int(ev.node), ev.at, n.rngs[ev.node]); ok {
-			n.inj.push(injEvent{at: at, node: ev.node, dst: int32(dst), size: int32(size)})
-		}
+	// 1. Harvest the cycle's events in canonical (Key, Seq) order. The
+	// key-0 prefix is the coordinator band — watchdog scans, recovery
+	// refreshes, fault markers, the telemetry sampler — and runs
+	// sequentially before the shards because it may touch state anywhere.
+	entries := n.wheel.BeginCycle(now)
+	band := 0
+	for band < len(entries) && entries[band].Key == 0 {
+		entries[band].Ev(now)
+		band++
 	}
 
-	// 3. Injection: each active NIC may start serialising one flit.
-	// Processing can re-activate entries, so the retained list must use a
-	// different backing array than the one being iterated.
-	nics := n.activeNICs
-	n.activeNICs = n.spareNICs[:0]
-	for _, nc := range nics {
-		if nc.tryInject(now) {
-			n.activeNICs = append(n.activeNICs, nc)
+	// 2. The parallel region. Actor ids are column-major, so the sorted
+	// entries split into one contiguous slice per shard; each shard then
+	// runs its events + injection + NIC + switch-allocation phases over
+	// disjoint state.
+	shards := n.shards
+	rest := entries[band:]
+	if len(shards) == 1 {
+		shards[0].entries = rest
+		shards[0].runCycle(now)
+	} else {
+		start := 0
+		for si := 0; si < len(shards)-1; si++ {
+			end := start
+			for end < len(rest) && n.shardOfActor(sim.KeyOwner(rest[end].Key)) == si {
+				end++
+			}
+			shards[si].entries = rest[start:end]
+			start = end
 		}
+		shards[len(shards)-1].entries = rest[start:]
+		n.runner.Run(n.tasks)
 	}
-	n.spareNICs = nics[:0]
 
-	// 4. Switch allocation: each active output may grant one flit.
-	outs := n.activeOuts
-	n.activeOuts = n.spareOuts[:0]
-	for _, o := range outs {
-		if o.TryGrant(now) {
-			n.activeOuts = append(n.activeOuts, o)
+	// 3. Replay staged wheel schedules in shard order. Every ordering key
+	// is produced by exactly one shard, in a window order K cannot change,
+	// so this assigns sequence numbers in a K-invariant per-key order.
+	for _, s := range shards {
+		for _, se := range s.staged {
+			n.wheel.ScheduleKeyed(se.at, se.key, se.ev)
 		}
+		s.staged = s.staged[:0]
 	}
-	n.spareOuts = outs[:0]
+
+	// 4. Down-notifications, in link order: recovery and telemetry observe
+	// every escalation exactly one barrier after the shard recorded it.
+	n.drainDownNotes(now)
 
 	// 5. Policy windows.
 	if now == n.nextPolicyTick {
@@ -534,7 +584,24 @@ func (n *Network) Step() {
 		n.nextPolicyTick += n.cfg.Policy.Window
 	}
 
-	// 6. simdebug builds re-audit flit/credit conservation periodically, so
+	// 6. Telemetry spools — after the policy tick, which can itself emit
+	// level-change events — then the deliver hooks in canonical order.
+	n.drainTelemetry()
+	n.drainDeliveries(now)
+
+	// 7. One watchdog-scan arming decision per cycle.
+	if n.rec != nil {
+		want := false
+		for _, s := range shards {
+			want = want || s.wantScan
+			s.wantScan = false
+		}
+		if want {
+			n.rec.armScan(now)
+		}
+	}
+
+	// 8. simdebug builds re-audit flit/credit conservation periodically, so
 	// a violation halts within debugAuditEvery cycles of its cause instead
 	// of surfacing as corrupt statistics long after.
 	if sim.Debug && now&(debugAuditEvery-1) == 0 {
@@ -544,6 +611,80 @@ func (n *Network) Step() {
 	}
 
 	n.now = now + 1
+}
+
+// drainDownNotes applies the shards' spooled link escalations in global
+// link order: a flight-recorder event per reset, and one recovery-table
+// refresh when any mesh link went down.
+func (n *Network) drainDownNotes(now sim.Cycle) {
+	notes := n.downScratch[:0]
+	for _, s := range n.shards {
+		notes = append(notes, s.downMailbox...)
+		s.downMailbox = s.downMailbox[:0]
+	}
+	n.downScratch = notes[:0]
+	if len(notes) == 0 {
+		return
+	}
+	sort.Slice(notes, func(i, j int) bool { return notes[i].link < notes[j].link })
+	for _, dn := range notes {
+		if n.telem != nil {
+			n.telem.Record(telemetry.Event{
+				At:     now,
+				Kind:   telemetry.EventLinkReset,
+				Link:   dn.link,
+				Router: -1,
+				B:      int64(dn.until),
+			})
+		}
+		if n.rec != nil && dn.link < len(n.meshRef) {
+			ref := n.meshRef[dn.link]
+			n.rec.refresh(now, ref.r, ref.dir)
+		}
+	}
+}
+
+// drainTelemetry feeds the shards' flight-recorder spools (stable-sorted by
+// link — per-link event order is already deterministic) and latency samples
+// into the registry.
+func (n *Network) drainTelemetry() {
+	if n.telem != nil {
+		evs := n.flightScratch[:0]
+		for _, s := range n.shards {
+			evs = append(evs, s.flightMailbox...)
+			s.flightMailbox = s.flightMailbox[:0]
+		}
+		if len(evs) > 1 {
+			sort.SliceStable(evs, func(i, j int) bool { return evs[i].Link < evs[j].Link })
+		}
+		for i := range evs {
+			n.telem.Record(evs[i])
+		}
+		n.flightScratch = evs[:0]
+	}
+	if n.telemLat != nil {
+		for _, s := range n.shards {
+			for _, v := range s.latVals {
+				n.telemLat.Record(v)
+			}
+			s.latVals = s.latVals[:0]
+		}
+	}
+}
+
+// drainDeliveries runs the OnDeliver hook over the cycle's delivered
+// packets. Deliveries happen only in shard phase 1 and actor ranges are
+// shard-nested, so shard-order concatenation IS the canonical global order.
+func (n *Network) drainDeliveries(now sim.Cycle) {
+	for _, s := range n.shards {
+		for _, d := range s.deliveries {
+			if n.OnDeliver != nil {
+				n.OnDeliver(now, d.p, d.lat)
+			}
+			s.pool.Put(d.p)
+		}
+		s.deliveries = s.deliveries[:0]
+	}
 }
 
 // debugAuditEvery is the simdebug audit period; a power of two so the
@@ -562,8 +703,10 @@ func (n *Network) nextWorkAt(limit sim.Cycle) sim.Cycle {
 	if at, ok := n.wheel.NextEventAt(); ok && at < next {
 		next = at
 	}
-	if n.inj.len() > 0 && n.inj.top().at < next {
-		next = n.inj.top().at
+	for _, s := range n.shards {
+		if s.inj.len() > 0 && s.inj.top().at < next {
+			next = s.inj.top().at
+		}
 	}
 	if n.nextPolicyTick < next {
 		next = n.nextPolicyTick
@@ -582,14 +725,20 @@ func (n *Network) nextWorkAt(limit sim.Cycle) sim.Cycle {
 // occupancy integrals take `now` lazily, so no per-link or per-buffer work
 // is needed on a skip — the skipped cycles are bit-identical to stepping.
 func (n *Network) skipIdleTo(limit sim.Cycle) bool {
-	if n.ffDisabled || len(n.activeNICs) > 0 || len(n.activeOuts) > 0 {
+	if n.ffDisabled {
 		return false
 	}
-	// Under load an injection or policy tick is almost always due by the
-	// next cycle, and a one-cycle skip cannot pay for the wheel occupancy
-	// scan inside nextWorkAt. These O(1) peeks bail out before it.
-	if n.inj.len() > 0 && n.inj.top().at <= n.now+1 {
-		return false
+	for _, s := range n.shards {
+		if len(s.activeNICs) > 0 || len(s.activeOuts) > 0 {
+			return false
+		}
+		// Under load an injection or policy tick is almost always due by
+		// the next cycle, and a one-cycle skip cannot pay for the wheel
+		// occupancy scan inside nextWorkAt. These O(1) peeks bail out
+		// before it.
+		if s.inj.len() > 0 && s.inj.top().at <= n.now+1 {
+			return false
+		}
 	}
 	if n.nextPolicyTick <= n.now+1 {
 		return false
@@ -626,10 +775,16 @@ func (n *Network) RunTo(t sim.Cycle) {
 // quiesces. Telemetry's wheel events (the recurring sampler, future fault
 // markers) are subtracted: they observe the simulation, they are not work.
 func (n *Network) Quiescent() bool {
-	return n.inj.len() == 0 &&
-		n.deliveredPkts+n.droppedPkts == n.injectedPkts &&
-		n.wheel.Pending() == n.telemPending() &&
-		len(n.activeNICs) == 0 && len(n.activeOuts) == 0
+	var injected, delivered int64
+	for _, s := range n.shards {
+		if s.inj.len() > 0 || len(s.activeNICs) > 0 || len(s.activeOuts) > 0 {
+			return false
+		}
+		injected += s.injectedPkts
+		delivered += s.deliveredPkts
+	}
+	return delivered+n.DroppedPackets() == injected &&
+		n.wheel.Pending() == n.telemPending()
 }
 
 // RunUntilQuiescent advances the simulation until it quiesces or reaches
@@ -666,51 +821,107 @@ func (n *Network) Config() Config { return n.cfg }
 // (warm-up exclusion) and resets the aggregate latency counters.
 func (n *Network) SetMeasureFrom(t sim.Cycle) {
 	n.measureFrom = t
-	n.latCount, n.latSum, n.latMin, n.latMax = 0, 0, -1, 0
-	n.headLatCount, n.headLatSum = 0, 0
-	n.latHist.Reset()
+	for _, s := range n.shards {
+		s.latCount, s.latSum, s.latMin, s.latMax = 0, 0, -1, 0
+		s.headLatCount, s.headLatSum = 0, 0
+		s.latHist.Reset()
+	}
 }
 
 // LatencyQuantile returns the q-quantile of measured packet latencies
 // (log-bucket estimate, ~9 % resolution).
 func (n *Network) LatencyQuantile(q float64) float64 {
-	return n.latHist.Quantile(q)
+	n.qHist.Reset()
+	for _, s := range n.shards {
+		n.qHist.Merge(&s.latHist)
+	}
+	return n.qHist.Quantile(q)
 }
 
 // InjectedPackets returns the number of packets offered by the sources.
-func (n *Network) InjectedPackets() int64 { return n.injectedPkts }
+func (n *Network) InjectedPackets() int64 {
+	var v int64
+	for _, s := range n.shards {
+		v += s.injectedPkts
+	}
+	return v
+}
 
 // DeliveredPackets returns the number of packets fully ejected.
-func (n *Network) DeliveredPackets() int64 { return n.deliveredPkts }
+func (n *Network) DeliveredPackets() int64 {
+	var v int64
+	for _, s := range n.shards {
+		v += s.deliveredPkts
+	}
+	return v
+}
 
 // DeliveredFlits returns the number of flits ejected.
-func (n *Network) DeliveredFlits() int64 { return n.deliveredFlits }
+func (n *Network) DeliveredFlits() int64 {
+	var v int64
+	for _, s := range n.shards {
+		v += s.deliveredFlits
+	}
+	return v
+}
 
 // MeasuredPackets returns the count of measured (post-warm-up) packets.
-func (n *Network) MeasuredPackets() int64 { return n.latCount }
+func (n *Network) MeasuredPackets() int64 {
+	var v int64
+	for _, s := range n.shards {
+		v += s.latCount
+	}
+	return v
+}
 
 // MeanLatency returns the mean measured packet latency in cycles.
 func (n *Network) MeanLatency() float64 {
-	if n.latCount == 0 {
+	var count, sum int64
+	for _, s := range n.shards {
+		count += s.latCount
+		sum += s.latSum
+	}
+	if count == 0 {
 		return 0
 	}
-	return n.latSum / float64(n.latCount)
+	return float64(sum) / float64(count)
 }
 
 // MeanHeadLatency returns the mean latency from packet creation to the
 // ejection of its head flit — excluding body serialisation.
 func (n *Network) MeanHeadLatency() float64 {
-	if n.headLatCount == 0 {
+	var count, sum int64
+	for _, s := range n.shards {
+		count += s.headLatCount
+		sum += s.headLatSum
+	}
+	if count == 0 {
 		return 0
 	}
-	return n.headLatSum / float64(n.headLatCount)
+	return float64(sum) / float64(count)
 }
 
 // MaxLatency returns the maximum measured packet latency.
-func (n *Network) MaxLatency() sim.Cycle { return n.latMax }
+func (n *Network) MaxLatency() sim.Cycle {
+	var v sim.Cycle
+	for _, s := range n.shards {
+		if s.latMax > v {
+			v = s.latMax
+		}
+	}
+	return v
+}
 
 // MinLatency returns the minimum measured packet latency (-1 when none).
-func (n *Network) MinLatency() sim.Cycle { return n.latMin }
+func (n *Network) MinLatency() sim.Cycle {
+	min := sim.Cycle(-1)
+	for _, s := range n.shards {
+		if s.latMin >= 0 && (min < 0 || s.latMin < min) {
+			min = s.latMin
+		}
+	}
+	return min
+}
 
 // LinkEnergyJ returns total energy consumed by all links up to now.
 func (n *Network) LinkEnergyJ() float64 {
@@ -808,9 +1019,14 @@ func (n *Network) NICQueueLen(node int) int {
 
 // LevelHistogram returns how many links currently sit at each electrical
 // level (index = level; off-links counted in Off). A quick health read of
-// what the policy is doing.
+// what the policy is doing. The returned slice is a buffer preallocated at
+// network build, reused by every call: read or copy it before calling
+// again, and never retain it across calls.
 func (n *Network) LevelHistogram() (levels []int, off int) {
-	levels = make([]int, len(n.cfg.Link.LevelRates))
+	levels = n.levelScratch
+	for i := range levels {
+		levels[i] = 0
+	}
 	for _, ch := range n.channels {
 		lv := ch.PLink().Level(n.now)
 		if lv < 0 {

@@ -54,8 +54,14 @@ func maxInt(a, b int) int {
 // router's local input port, respecting credit flow control.
 type NIC struct {
 	net  *Network
+	sh   *shard // owning shard; all NIC state is stepped by it
 	node int
 	ch   *router.Channel
+
+	// selfKey orders the NIC's wake-up events; pktSeq numbers the packets
+	// this NIC creates (IDs are per-source, so shards never contend).
+	selfKey uint64
+	pktSeq  int64
 
 	credits []int // per router-input VC
 	q       descQueue
@@ -73,15 +79,17 @@ type NIC struct {
 	wakeEvt     sim.Event
 }
 
-func newNIC(net *Network, node int, ch *router.Channel, vcs, bufDepth int) *NIC {
-	nc := &NIC{net: net, node: node, ch: ch, credits: make([]int, vcs)}
+func newNIC(net *Network, sh *shard, node int, ch *router.Channel, vcs, bufDepth int) *NIC {
+	nc := &NIC{net: net, sh: sh, node: node, ch: ch, credits: make([]int, vcs)}
+	actor := net.nicActor(node)
+	nc.selfKey = sim.ActorKey(actor, actor)
 	for v := range nc.credits {
 		nc.credits[v] = bufDepth
 	}
 	nc.wakeEvt = func(now sim.Cycle) {
 		nc.wakePending = false
 		if nc.cur != nil || nc.q.n > 0 {
-			nc.net.activateNIC(nc)
+			nc.sh.activateNIC(nc)
 		}
 	}
 	return nc
@@ -94,7 +102,7 @@ func (nc *NIC) enqueue(d pktDesc) { nc.q.push(d) }
 func (nc *NIC) ReturnCredit(now sim.Cycle, vc int) {
 	nc.credits[vc]++
 	if nc.cur != nil || nc.q.n > 0 {
-		nc.net.activateNIC(nc)
+		nc.sh.activateNIC(nc)
 	}
 }
 
@@ -111,11 +119,12 @@ func (nc *NIC) tryInject(now sim.Cycle) bool {
 		// reach is dropped here and counted rather than wedging the NIC.
 		if rec := nc.net.rec; rec != nil &&
 			!rec.reachable(nc.net.cfg.nodeRouter(nc.node), nc.net.cfg.nodeRouter(int(d.dst))) {
-			rec.unreachableDrops++
-			nc.net.droppedPkts++
+			nc.sh.unreachableDrops++
 			continue
 		}
-		p := nc.net.pool.Get()
+		p := nc.sh.pool.Get()
+		nc.pktSeq++
+		p.ID = int64(nc.node)<<32 | nc.pktSeq
 		p.Src = nc.node
 		p.Dst = int(d.dst)
 		p.DstRouter = nc.net.cfg.nodeRouter(int(d.dst))
@@ -143,7 +152,7 @@ func (nc *NIC) tryInject(now sim.Cycle) bool {
 			if at <= now {
 				at = now + 1
 			}
-			nc.net.wheel.Schedule(at, nc.wakeEvt)
+			nc.sh.Schedule(at, nc.selfKey, nc.wakeEvt)
 		}
 		return false
 	}

@@ -98,12 +98,11 @@ type recovery struct {
 	scanArmed bool
 	scanEvt   sim.Event
 
-	reroutes         int64
-	misroutes        int64
-	wdReroutes       int64
-	wdDrops          int64
-	unreachableDrops int64
-	recomputes       int64
+	// wdReroutes/wdDrops are coordinator-only (the scan is a key-0 wheel
+	// event). Route-time reroute/misroute counts live on the shards.
+	wdReroutes int64
+	wdDrops    int64
+	recomputes int64
 }
 
 func newRecovery(n *Network, cfg RecoveryConfig) *recovery {
@@ -128,7 +127,9 @@ func newRecovery(n *Network, cfg RecoveryConfig) *recovery {
 
 	// Scheduled failure windows are known up front: a liveness refresh at
 	// each boundary keeps the table exact without polling. Escalated link
-	// resets are the only surprise downtime; the channel notifies us.
+	// resets are the only surprise downtime; the shards spool those into
+	// the down mailbox and the coordinator calls refresh at the barrier
+	// (see Network.drainDownNotes).
 	for _, w := range n.cfg.Fault.LinkFailures {
 		if w.Link >= len(n.meshRef) {
 			continue // node link: routing cannot steer around it
@@ -136,12 +137,6 @@ func newRecovery(n *Network, cfg RecoveryConfig) *recovery {
 		ref := n.meshRef[w.Link]
 		n.wheel.Schedule(w.At, func(at sim.Cycle) { rec.refresh(at, ref.r, ref.dir) })
 		n.wheel.Schedule(w.RepairAt, func(at sim.Cycle) { rec.refresh(at, ref.r, ref.dir) })
-	}
-	for li, ref := range n.meshRef {
-		if n.channels[li].ReliabilityEnabled() {
-			r, dir := ref.r, ref.dir
-			n.channels[li].SetDownNotify(func(at, until sim.Cycle) { rec.refresh(at, r, dir) })
-		}
 	}
 	return rec
 }
@@ -256,7 +251,7 @@ func (rec *recovery) scan(now sim.Cycle) {
 			if stall >= rec.cfg.DropHorizon {
 				if p := r.KillHOL(now, ivc); p != nil {
 					rec.wdDrops++
-					rec.n.droppedPkts++
+					rec.n.wdDropped++
 					if t := rec.n.telem; t != nil {
 						t.Record(telemetry.Event{At: now, Kind: telemetry.EventWatchdogKill, Link: -1, Router: rid, A: int64(stall)})
 						t.TriggerDump(now, "watchdog_kill")
@@ -342,7 +337,10 @@ func (n *Network) recoveryRoute(routerID int, p *router.Packet, inVC int) (int, 
 	}
 	if nl > 0 {
 		if nl < nd {
-			rec.reroutes++
+			// Attributed to the router's own shard: recoveryRoute runs
+			// either on that shard inside the parallel region or on the
+			// coordinator (watchdog scan), never both at once.
+			n.shards[n.shardOfRouter(routerID)].reroutes++
 		}
 		pick := liveDirs[0]
 		if nl == 2 {
@@ -375,7 +373,7 @@ func (n *Network) recoveryRoute(routerID int, p *router.Packet, inVC int) (int, 
 	if p.Misroutes < rec.cfg.MaxMisroutes {
 		if mp, ok := rec.misroutePort(routerID); ok {
 			p.Misroutes++
-			rec.misroutes++
+			n.shards[n.shardOfRouter(routerID)].misroutes++
 			return mp, rec.adaptMask
 		}
 	}
@@ -392,12 +390,14 @@ func (n *Network) RecoveryStats() stats.Recovery {
 	if rec == nil {
 		return s
 	}
-	s.Reroutes = rec.reroutes
-	s.Misroutes = rec.misroutes
+	for _, sh := range n.shards {
+		s.Reroutes += sh.reroutes
+		s.Misroutes += sh.misroutes
+		s.UnreachableDrops += sh.unreachableDrops
+	}
 	s.WatchdogReroutes = rec.wdReroutes
 	s.WatchdogDrops = rec.wdDrops
-	s.UnreachableDrops = rec.unreachableDrops
-	s.DroppedPackets = n.droppedPkts
+	s.DroppedPackets = n.DroppedPackets()
 	s.ReachRecomputes = rec.recomputes
 	for _, r := range n.routers {
 		s.EscapeGrants += r.EscapeGrants()
@@ -416,7 +416,13 @@ func (n *Network) RecoveryStats() stats.Recovery {
 // DroppedPackets returns how many packets were dropped by the recovery
 // subsystem (watchdog drops plus unreachable-destination drops). Exact
 // drain: Injected == Delivered + Dropped.
-func (n *Network) DroppedPackets() int64 { return n.droppedPkts }
+func (n *Network) DroppedPackets() int64 {
+	v := n.wdDropped
+	for _, s := range n.shards {
+		v += s.unreachableDrops
+	}
+	return v
+}
 
 // MeshLinkIndex returns the global link index (Channels() order) of the
 // mesh link leaving router r in direction dir, or -1 when no such link is

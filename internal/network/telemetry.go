@@ -69,9 +69,9 @@ func (n *Network) initTelemetry() {
 		}
 		return float64(b)
 	})
-	reg.Counter("net.injected", func() int64 { return n.injectedPkts })
-	reg.Counter("net.delivered", func() int64 { return n.deliveredPkts })
-	reg.Counter("net.dropped", func() int64 { return n.droppedPkts })
+	reg.Counter("net.injected", n.InjectedPackets)
+	reg.Counter("net.delivered", n.DeliveredPackets)
+	reg.Counter("net.dropped", n.DroppedPackets)
 
 	// Per-link series for the inter-router mesh only: the fabric is where
 	// levels ladder, faults land, and recovery acts; instrumenting all
@@ -92,9 +92,10 @@ func (n *Network) initTelemetry() {
 
 	// Flight recorder: link hard-down windows. Scheduled failure windows
 	// are known up front — exact markers at each boundary (RepairAt == 0 is
-	// a permanent failure: no up marker). Watchdog-escalation resets are the
-	// surprise downtime; the channel's notify chain reports those (after the
-	// recovery layer's own callback, installed first in New).
+	// a permanent failure: no up marker). Watchdog-escalation resets are
+	// the surprise downtime; the shards spool those into the down mailbox
+	// and the coordinator records them at the cycle barrier in link order
+	// (see Network.drainDownNotes).
 	for _, w := range n.cfg.Fault.LinkFailures {
 		link := w.Link
 		reg.ScheduleMarker(w.At, func(at sim.Cycle) {
@@ -105,15 +106,6 @@ func (n *Network) initTelemetry() {
 				reg.Record(telemetry.Event{At: at, Kind: telemetry.EventLinkUp, Link: link, Router: -1})
 			})
 		}
-	}
-	for li, ch := range n.channels {
-		if !ch.ReliabilityEnabled() {
-			continue
-		}
-		link := li
-		ch.SetDownNotify(func(now, until sim.Cycle) {
-			reg.Record(telemetry.Event{At: now, Kind: telemetry.EventLinkReset, Link: link, Router: -1, B: int64(until)})
-		})
 	}
 
 	reg.Start(n.now)
@@ -152,16 +144,21 @@ func (n *Network) addMeshLinkProbes(li int) {
 
 	// Level transitions and relock failures feed the flight recorder with
 	// the transition's logical cycle (the hook can fire later — lazy state
-	// machines — so the recorder sorts by cycle on dump).
+	// machines — so the recorder sorts by cycle on dump). The hooks can
+	// fire inside the owning shard's window, so they spool into its flight
+	// mailbox; the coordinator records the spools at the cycle barrier.
+	owner := n.chanOwner[li]
 	pl.OnLevelChange(func(at sim.Cycle, from, to int) {
 		kind := telemetry.EventLevelUp
 		if to < from {
 			kind = telemetry.EventLevelDown
 		}
-		reg.Record(telemetry.Event{At: at, Kind: kind, Link: li, Router: ref.r, A: int64(from), B: int64(to)})
+		owner.flightMailbox = append(owner.flightMailbox,
+			telemetry.Event{At: at, Kind: kind, Link: li, Router: ref.r, A: int64(from), B: int64(to)})
 	})
 	pl.OnRelockFail(func(at sim.Cycle, retries int) {
-		reg.Record(telemetry.Event{At: at, Kind: telemetry.EventRelockFail, Link: li, Router: ref.r, A: int64(retries)})
+		owner.flightMailbox = append(owner.flightMailbox,
+			telemetry.Event{At: at, Kind: telemetry.EventRelockFail, Link: li, Router: ref.r, A: int64(retries)})
 	})
 }
 

@@ -30,7 +30,7 @@ func BenchmarkBufferPushPop(b *testing.B) {
 
 func BenchmarkChannelSend(b *testing.B) {
 	w := sim.NewWheel(64)
-	ch := NewChannel(mustLink(), w, func(sim.Cycle, FlitRef) {})
+	ch := NewChannel(mustLink(), OnWheel(w), func(sim.Cycle, FlitRef) {})
 	p := &Packet{Len: 1 << 30}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -46,11 +46,11 @@ func BenchmarkGrantPath(b *testing.B) {
 	h := newBenchHarness()
 	r := New(Config{ID: 0, Ports: 2, VCs: 2, BufDepth: 16, Route: func(int, *Packet, int) (int, uint32) { return 1, ^uint32(0) }}, h)
 	out := r.Output(1)
-	ch := NewChannel(mustLink(), h.wheel, func(now sim.Cycle, f FlitRef) {
+	ch := NewChannel(mustLink(), OnWheel(h.wheel), func(now sim.Cycle, f FlitRef) {
 		out.ReturnCredit(now, int(f.VC))
 	})
 	r.ConnectOutput(1, ch)
-	r.ConnectOutput(0, NewChannel(mustLink(), h.wheel, func(sim.Cycle, FlitRef) {}))
+	r.ConnectOutput(0, NewChannel(mustLink(), OnWheel(h.wheel), func(sim.Cycle, FlitRef) {}))
 	accept := r.AcceptFlit(0)
 	p := &Packet{Len: 1 << 30, Dst: 1}
 	var seq int32
@@ -77,7 +77,9 @@ type benchHarness struct {
 	active []*Output
 }
 
-func (h *benchHarness) Wheel() *sim.Wheel { return h.wheel }
+func (h *benchHarness) Schedule(at sim.Cycle, key uint64, ev sim.Event) {
+	h.wheel.ScheduleKeyed(at, key, ev)
+}
 func (h *benchHarness) ActivateOutput(o *Output) {
 	if !o.Active() {
 		o.SetActive(true)

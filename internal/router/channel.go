@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/powerlink"
+	"repro/internal/shardrun"
 	"repro/internal/sim"
 )
 
@@ -99,6 +100,15 @@ type relState struct {
 	fbArmed    bool
 	fbEvt      sim.Event
 
+	// Accepted flits cross one rx pipeline register before entering the
+	// downstream buffer: relArrival (which mutates sender-owned protocol
+	// state and so runs on the sender's shard) pushes here, and acceptEvt —
+	// keyed to the downstream owner, one cycle later — pops and delivers.
+	// This is the reliable channels' shard-boundary crossing; it applies
+	// uniformly (even within one shard) so timing is shard-count-invariant.
+	rx        *shardrun.Ring[FlitRef]
+	acceptEvt sim.Event
+
 	stats RelStats
 }
 
@@ -115,8 +125,16 @@ type relState struct {
 // the behaviour (and cost) is exactly the historical lossless channel.
 type Channel struct {
 	plink   *powerlink.Link
-	wheel   *sim.Wheel
+	sched   Sched
 	deliver DeliverFunc
+
+	// Ordering keys (sim.ActorKey). selfKey orders events that mutate
+	// sender-side state (reliable arrivals, feedback, replay pump,
+	// watchdog); deliverKey orders events that mutate the downstream
+	// receiver (lossless delivery, reliable rx-accept). Both default to 0
+	// for standalone channels; SetKeys assigns them in a sharded network.
+	selfKey    uint64
+	deliverKey uint64
 
 	busyUntilMC int64   // milli-cycles; channel idle when <= now*1000
 	busyCycles  float64 // cumulative serialisation time, for policy Lu
@@ -125,8 +143,10 @@ type Channel struct {
 	// In-flight flits awaiting their (cycle-rounded) delivery event. With
 	// sub-cycle serialisation starts, a new flit can begin while the
 	// previous one's delivery is still pending, so up to two can coexist.
-	pending    [4]txFlit
-	pHead, pN  int
+	// An SPSC ring because sender and receiver may live on different
+	// shards: the sender pushes during its window, the receiver pops at the
+	// delivery event one or more cycles later.
+	pending    *shardrun.Ring[txFlit]
 	deliverEvt sim.Event
 
 	rel *relState // nil = lossless channel, zero reliability overhead
@@ -137,15 +157,13 @@ type Channel struct {
 	downNotify func(now, until sim.Cycle)
 }
 
-// NewChannel wires a channel to its power-aware link, the shared timing
-// wheel, and the downstream delivery function.
-func NewChannel(pl *powerlink.Link, wheel *sim.Wheel, deliver DeliverFunc) *Channel {
-	c := &Channel{plink: pl, wheel: wheel, deliver: deliver}
+// NewChannel wires a channel to its power-aware link, an event scheduler
+// (the owning shard, or OnWheel for standalone use), and the downstream
+// delivery function.
+func NewChannel(pl *powerlink.Link, sched Sched, deliver DeliverFunc) *Channel {
+	c := &Channel{plink: pl, sched: sched, deliver: deliver, pending: shardrun.NewRing[txFlit](4)}
 	c.deliverEvt = func(now sim.Cycle) {
-		tf := c.pending[c.pHead]
-		c.pending[c.pHead] = txFlit{}
-		c.pHead = (c.pHead + 1) % len(c.pending)
-		c.pN--
+		tf := c.pending.Pop()
 		if c.rel != nil {
 			c.relArrival(now, tf)
 			return
@@ -153,6 +171,13 @@ func NewChannel(pl *powerlink.Link, wheel *sim.Wheel, deliver DeliverFunc) *Chan
 		c.deliver(now, tf.f)
 	}
 	return c
+}
+
+// SetKeys assigns the channel's ordering keys (see the field docs). Must be
+// called during construction, before any flit is sent.
+func (c *Channel) SetKeys(selfKey, deliverKey uint64) {
+	c.selfKey = selfKey
+	c.deliverKey = deliverKey
 }
 
 // EnableReliability switches the channel to reliable delivery under cfg.
@@ -165,7 +190,10 @@ func (c *Channel) EnableReliability(cfg ReliabilityConfig) {
 		cfg.MaxRetries <= 0 || cfg.ResetCycles <= 0 {
 		panic(fmt.Sprintf("router: bad reliability config %+v", cfg))
 	}
-	r := &relState{cfg: cfg, retx: make([]txFlit, cfg.Window)}
+	r := &relState{cfg: cfg, retx: make([]txFlit, cfg.Window), rx: shardrun.NewRing[FlitRef](8)}
+	r.acceptEvt = func(now sim.Cycle) {
+		c.deliver(now, r.rx.Pop())
+	}
 	r.fbEvt = func(now sim.Cycle) {
 		r.fbArmed = false
 		nack := r.wantReplay
@@ -307,9 +335,6 @@ func (c *Channel) transmit(now sim.Cycle, tf txFlit) sim.Cycle {
 	if c.busyUntilMC > startMC {
 		startMC = c.busyUntilMC
 	}
-	if c.pN == len(c.pending) {
-		panic("router: in-flight flit ring overflow")
-	}
 	if r := c.rel; r != nil {
 		tf.crc = flitCRC(tf.pktID, tf.seq, tf.f.VC)
 		if mask := r.cfg.Source.CorruptionMask(r.cfg.Link, now); mask != 0 {
@@ -329,9 +354,15 @@ func (c *Channel) transmit(now sim.Cycle, tf txFlit) sim.Cycle {
 	if arrival <= now {
 		arrival = now + 1
 	}
-	c.pending[(c.pHead+c.pN)%len(c.pending)] = tf
-	c.pN++
-	c.wheel.Schedule(arrival, c.deliverEvt)
+	c.pending.Push(tf)
+	// A lossless delivery mutates the downstream receiver; a reliable
+	// arrival mutates the sender-owned protocol state (the receiver is
+	// reached via acceptEvt one cycle later).
+	key := c.deliverKey
+	if c.rel != nil {
+		key = c.selfKey
+	}
+	c.sched.Schedule(arrival, key, c.deliverEvt)
 	return arrival
 }
 
@@ -364,13 +395,14 @@ func (c *Channel) relArrival(now sim.Cycle, tf txFlit) {
 			break
 		}
 		r.rxExpect++
-		c.deliver(now, tf.f)
+		r.rx.Push(tf.f)
+		c.sched.Schedule(now+1, c.deliverKey, r.acceptEvt)
 	}
 	// Every arrival (even a drop) is worth reporting: the cumulative ack
 	// releases sender window space, and wantReplay rides along.
 	if !r.fbArmed {
 		r.fbArmed = true
-		c.wheel.Schedule(now+r.cfg.AckDelay, r.fbEvt)
+		c.sched.Schedule(now+r.cfg.AckDelay, c.selfKey, r.fbEvt)
 	}
 }
 
@@ -474,7 +506,7 @@ func (c *Channel) armPump(at sim.Cycle) {
 		return
 	}
 	r.pumpArmed = true
-	c.wheel.Schedule(at, r.pumpEvt)
+	c.sched.Schedule(at, c.selfKey, r.pumpEvt)
 }
 
 func (c *Channel) armWatchdog(at sim.Cycle) {
@@ -483,7 +515,7 @@ func (c *Channel) armWatchdog(at sim.Cycle) {
 		return
 	}
 	r.wdArmed = true
-	c.wheel.Schedule(at, r.wdEvt)
+	c.sched.Schedule(at, c.selfKey, r.wdEvt)
 }
 
 // OutstandingFlits returns the number of flits granted onto this channel
@@ -495,6 +527,17 @@ func (c *Channel) OutstandingFlits() int {
 		return 0
 	}
 	return int(c.rel.sendSeq - c.rel.rxExpect)
+}
+
+// RxPending returns the number of accepted flits still waiting in the rx
+// pipeline register (acknowledged to the sender, not yet in the downstream
+// buffer) — additional conservation slack for the audit. Zero without
+// reliability.
+func (c *Channel) RxPending() int {
+	if c.rel == nil {
+		return 0
+	}
+	return c.rel.rx.Len()
 }
 
 // SetDownNotify registers a callback invoked whenever a watchdog

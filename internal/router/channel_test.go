@@ -33,7 +33,7 @@ func (c *capture) deliver(now sim.Cycle, f FlitRef) {
 func TestChannelFullRateBackToBack(t *testing.T) {
 	w := sim.NewWheel(64)
 	cap := &capture{}
-	ch := NewChannel(testLink(t, []float64{10}), w, cap.deliver)
+	ch := NewChannel(testLink(t, []float64{10}), OnWheel(w), cap.deliver)
 	p := &Packet{Len: 4}
 	now := sim.Cycle(0)
 	sent := 0
@@ -61,7 +61,7 @@ func TestChannelFullRateBackToBack(t *testing.T) {
 func TestChannelHalfRateTakesTwoCycles(t *testing.T) {
 	w := sim.NewWheel(64)
 	cap := &capture{}
-	ch := NewChannel(testLink(t, []float64{5}), w, cap.deliver)
+	ch := NewChannel(testLink(t, []float64{5}), OnWheel(w), cap.deliver)
 	p := &Packet{Len: 3}
 	sent := 0
 	for cycle := sim.Cycle(0); cycle < 10; cycle++ {
@@ -88,7 +88,7 @@ func TestChannelHalfRateTakesTwoCycles(t *testing.T) {
 func TestChannelFractionalRateAverages(t *testing.T) {
 	w := sim.NewWheel(64)
 	cap := &capture{}
-	ch := NewChannel(testLink(t, []float64{6}), w, cap.deliver)
+	ch := NewChannel(testLink(t, []float64{6}), OnWheel(w), cap.deliver)
 	p := &Packet{Len: 1000}
 	sent := 0
 	for cycle := sim.Cycle(0); cycle < 30; cycle++ {
@@ -105,7 +105,7 @@ func TestChannelFractionalRateAverages(t *testing.T) {
 
 func TestChannelBusyCycles(t *testing.T) {
 	w := sim.NewWheel(64)
-	ch := NewChannel(testLink(t, []float64{5}), w, func(sim.Cycle, FlitRef) {})
+	ch := NewChannel(testLink(t, []float64{5}), OnWheel(w), func(sim.Cycle, FlitRef) {})
 	p := &Packet{Len: 10}
 	w.Advance(0)
 	ch.Send(0, FlitRef{Pkt: p, Seq: 0})
@@ -119,7 +119,7 @@ func TestChannelBusyCycles(t *testing.T) {
 
 func TestChannelSendWhileBusyPanics(t *testing.T) {
 	w := sim.NewWheel(64)
-	ch := NewChannel(testLink(t, []float64{5}), w, func(sim.Cycle, FlitRef) {})
+	ch := NewChannel(testLink(t, []float64{5}), OnWheel(w), func(sim.Cycle, FlitRef) {})
 	p := &Packet{Len: 2}
 	w.Advance(0)
 	ch.Send(0, FlitRef{Pkt: p, Seq: 0})
@@ -134,7 +134,7 @@ func TestChannelSendWhileBusyPanics(t *testing.T) {
 func TestChannelDisabledDuringTransition(t *testing.T) {
 	w := sim.NewWheel(64)
 	link := testLink(t, []float64{5, 10})
-	ch := NewChannel(link, w, func(sim.Cycle, FlitRef) {})
+	ch := NewChannel(link, OnWheel(w), func(sim.Cycle, FlitRef) {})
 	link.RequestStep(0, -1) // frequency switch: disabled for Tbr=20
 	if ch.Usable(5) {
 		t.Error("channel usable during frequency switch")
@@ -149,7 +149,7 @@ func TestChannelDisabledDuringTransition(t *testing.T) {
 
 func TestChannelNextUsableAfterSerialisation(t *testing.T) {
 	w := sim.NewWheel(64)
-	ch := NewChannel(testLink(t, []float64{5}), w, func(sim.Cycle, FlitRef) {})
+	ch := NewChannel(testLink(t, []float64{5}), OnWheel(w), func(sim.Cycle, FlitRef) {})
 	p := &Packet{Len: 2}
 	w.Advance(0)
 	ch.Send(0, FlitRef{Pkt: p, Seq: 0})
@@ -171,7 +171,7 @@ func TestChannelWakesOffLink(t *testing.T) {
 		OffEnabled:    true,
 		OffWakeCycles: 100,
 	})
-	ch := NewChannel(link, w, func(sim.Cycle, FlitRef) {})
+	ch := NewChannel(link, OnWheel(w), func(sim.Cycle, FlitRef) {})
 	var now sim.Cycle
 	for link.Level(now) > 0 {
 		link.RequestStep(now, -1)

@@ -55,12 +55,15 @@ type Packet struct {
 }
 
 // Pool recycles Packet structs to keep long simulations allocation-free.
+// Under sharding every shard owns a private pool ("free where you die":
+// a packet is recycled into the pool of the shard that ejects it), so Pool
+// assigns no IDs — the injecting NIC stamps a per-source ID, keeping IDs
+// deterministic regardless of which pool a struct came from.
 type Pool struct {
-	free   *Packet
-	nextID int64
+	free *Packet
 }
 
-// Get returns a zeroed packet with a fresh ID.
+// Get returns a zeroed packet. The caller assigns the ID.
 func (p *Pool) Get() *Packet {
 	pk := p.free
 	if pk == nil {
@@ -69,8 +72,6 @@ func (p *Pool) Get() *Packet {
 		p.free = pk.next
 		*pk = Packet{}
 	}
-	p.nextID++
-	pk.ID = p.nextID
 	return pk
 }
 

@@ -17,13 +17,32 @@ type RouteFunc func(routerID int, p *Packet, inVC int) (port int, vcMask uint32)
 // AllVCs builds the unrestricted VC mask for n virtual channels.
 func AllVCs(n int) uint32 { return uint32(1)<<uint(n) - 1 }
 
+// Sched is the event-scheduling half of the surrounding simulation. Under
+// sharding this is the router's owning shard, which stages the request and
+// forwards it to the global wheel at the cycle barrier; standalone users
+// adapt a wheel directly via OnWheel. The key orders same-cycle events
+// canonically (see sim.ActorKey); key 0 is the sequential coordinator band.
+type Sched interface {
+	Schedule(at sim.Cycle, key uint64, ev sim.Event)
+}
+
 // Scheduler is the part of the surrounding network the router talks to:
-// the shared timing wheel and the active-output work list.
+// event scheduling plus the active-output work list.
 type Scheduler interface {
-	Wheel() *sim.Wheel
+	Sched
 	// ActivateOutput queues o for grant processing; idempotent while the
 	// output is already active.
 	ActivateOutput(o *Output)
+}
+
+// OnWheel adapts a bare wheel into a Sched — for standalone routers and
+// channels outside a sharded network (unit tests, micro-benchmarks).
+func OnWheel(w *sim.Wheel) Sched { return wheelSched{w} }
+
+type wheelSched struct{ w *sim.Wheel }
+
+func (ws wheelSched) Schedule(at sim.Cycle, key uint64, ev sim.Event) {
+	ws.w.ScheduleKeyed(at, key, ev)
 }
 
 // CreditSink receives returned credits for a virtual channel: the upstream
@@ -39,6 +58,10 @@ type Config struct {
 	VCs      int
 	BufDepth int // flits per input VC
 	Route    RouteFunc
+	// Actor is the router's ordering-key identity (sim.ActorKey owner). 0 is
+	// fine for standalone routers driven by a wheel's insertion-order
+	// Advance; a sharded network assigns every router a unique actor id.
+	Actor uint32
 	// EscapeVCs reserves the first EscapeVCs virtual channels of every
 	// port as the escape layer of fault-aware routing (Duato-style): VC
 	// allocation prefers the remaining adaptive VCs and only claims an
@@ -56,6 +79,7 @@ type Router struct {
 	escapeVCs int
 	route     RouteFunc
 	sched     Scheduler
+	selfKey   uint64 // ordering key for self-scheduled events (HOL, wake)
 
 	ins       []inputVC
 	outs      []Output
@@ -72,9 +96,10 @@ type inputVC struct {
 	outVC    int     // allocated output VC at that port, -1 when unset
 	vcMask   uint32  // downstream VCs the current packet may claim
 	curPkt   *Packet // packet whose wormhole currently owns this input VC
-	inReq    bool    // currently queued in an output's request list
-	upstream CreditSink
-	upVC     int
+	inReq     bool // currently queued in an output's request list
+	upstream  CreditSink
+	upVC      int
+	creditKey uint64 // ordering key for credit returns: (upstream actor, us)
 
 	// progressAt is the cycle of the last forward progress on this VC —
 	// a pop, or an arrival into an empty buffer. The stall watchdog
@@ -132,6 +157,7 @@ func New(cfg Config, sched Scheduler) *Router {
 		escapeVCs: cfg.EscapeVCs,
 		route:     cfg.Route,
 		sched:     sched,
+		selfKey:   sim.ActorKey(cfg.Actor, cfg.Actor),
 		ins:       make([]inputVC, cfg.Ports*cfg.VCs),
 		outs:      make([]Output, cfg.Ports),
 		inputBusy: make([]sim.Cycle, cfg.Ports),
@@ -192,11 +218,14 @@ func (r *Router) InputBuffer(p, v int) *Buffer { return r.ins[p*r.vcs+v].buf }
 
 // SetUpstream wires the credit-return path for input port p, VC v: when a
 // flit leaves that buffer, sink.ReturnCredit(·, upVC) is invoked after
-// CreditDelay cycles.
-func (r *Router) SetUpstream(p, v int, sink CreditSink, upVC int) {
+// CreditDelay cycles. upActor is the actor id of the sink's owner — the
+// credit event mutates upstream state, so it executes on the upstream
+// owner's shard, ordered under key (upActor, our actor).
+func (r *Router) SetUpstream(p, v int, sink CreditSink, upVC int, upActor uint32) {
 	in := &r.ins[p*r.vcs+v]
 	in.upstream = sink
 	in.upVC = upVC
+	in.creditKey = sim.ActorKey(upActor, sim.KeyOwner(r.selfKey))
 }
 
 // ConnectOutput attaches the physical channel for output port p.
@@ -240,7 +269,7 @@ func (r *Router) register(now sim.Cycle, ivc int) {
 		f = in.buf.Front()
 	}
 	if f.ReadyAt > now {
-		r.sched.Wheel().Schedule(f.ReadyAt, in.holEvt)
+		r.sched.Schedule(f.ReadyAt, r.selfKey, in.holEvt)
 		return
 	}
 	if f.IsHead() && in.route < 0 {
@@ -277,7 +306,7 @@ func (r *Router) discardKilled(now sim.Cycle, ivc int) {
 		in.progressAt = now
 		r.flitsDiscarded++
 		if in.upstream != nil {
-			r.sched.Wheel().Schedule(now+CreditDelay, in.creditEvt)
+			r.sched.Schedule(now+CreditDelay, in.creditKey, in.creditEvt)
 		}
 		if f.IsTail() && in.curPkt == p {
 			if in.outVC >= 0 {
@@ -471,7 +500,7 @@ func (o *Output) TryGrant(now sim.Cycle) bool {
 			if at <= now {
 				at = now + 1
 			}
-			r.sched.Wheel().Schedule(at, o.wakeEvt)
+			r.sched.Schedule(at, r.selfKey, o.wakeEvt)
 		}
 		return false
 	}
@@ -529,7 +558,7 @@ func (o *Output) TryGrant(now sim.Cycle) bool {
 			r.escGrants++
 		}
 		if in.upstream != nil {
-			r.sched.Wheel().Schedule(now+CreditDelay, in.creditEvt)
+			r.sched.Schedule(now+CreditDelay, in.creditKey, in.creditEvt)
 		}
 		f.VC = int8(v)
 		o.ch.Send(now, f)

@@ -16,7 +16,9 @@ type harness struct {
 	now    sim.Cycle
 }
 
-func (h *harness) Wheel() *sim.Wheel { return h.wheel }
+func (h *harness) Schedule(at sim.Cycle, key uint64, ev sim.Event) {
+	h.wheel.ScheduleKeyed(at, key, ev)
+}
 func (h *harness) ActivateOutput(o *Output) {
 	if !o.Active() {
 		o.SetActive(true)
@@ -80,7 +82,7 @@ func buildRouter(t *testing.T, h *harness, ports, vcs, depth int) (*Router, []*f
 		log := &flitLog{}
 		logs[p] = log
 		out := r.Output(p)
-		ch := NewChannel(fullRateLink(t), h.wheel, func(now sim.Cycle, f FlitRef) {
+		ch := NewChannel(fullRateLink(t), OnWheel(h.wheel), func(now sim.Cycle, f FlitRef) {
 			log.deliver(now, f)
 			out.ReturnCredit(now, int(f.VC))
 		})
@@ -203,9 +205,9 @@ func TestRouterCreditStall(t *testing.T) {
 	h := newHarness()
 	r := New(Config{ID: 0, Ports: 2, VCs: 1, BufDepth: 8, Route: fixedRoute}, h)
 	log := &flitLog{}
-	ch := NewChannel(fullRateLink(t), h.wheel, log.deliver)
+	ch := NewChannel(fullRateLink(t), OnWheel(h.wheel), log.deliver)
 	r.ConnectOutput(1, ch)
-	r.ConnectOutput(0, NewChannel(fullRateLink(t), h.wheel, func(sim.Cycle, FlitRef) {}))
+	r.ConnectOutput(0, NewChannel(fullRateLink(t), OnWheel(h.wheel), func(sim.Cycle, FlitRef) {}))
 
 	// 12-flit packet, downstream never returns credits: exactly BufDepth
 	// flits may be granted; the rest wait in the 8-deep input buffer.
@@ -304,8 +306,8 @@ func TestRouterInvalidRoutePanics(t *testing.T) {
 	h := newHarness()
 	r := New(Config{ID: 0, Ports: 2, VCs: 1, BufDepth: 4,
 		Route: func(int, *Packet, int) (int, uint32) { return 99, ^uint32(0) }}, h)
-	r.ConnectOutput(0, NewChannel(fullRateLink(t), h.wheel, func(sim.Cycle, FlitRef) {}))
-	r.ConnectOutput(1, NewChannel(fullRateLink(t), h.wheel, func(sim.Cycle, FlitRef) {}))
+	r.ConnectOutput(0, NewChannel(fullRateLink(t), OnWheel(h.wheel), func(sim.Cycle, FlitRef) {}))
+	r.ConnectOutput(1, NewChannel(fullRateLink(t), OnWheel(h.wheel), func(sim.Cycle, FlitRef) {}))
 	pkt := mkPacket(1, 0, 1)
 	defer func() {
 		if recover() == nil {
@@ -323,7 +325,7 @@ func TestRouterUpstreamCredits(t *testing.T) {
 	r, _ := buildRouter(t, h, 2, 1, 8)
 	credits := []sim.Cycle{}
 	sink := creditRecorder{&credits, h}
-	r.SetUpstream(0, 0, sink, 0)
+	r.SetUpstream(0, 0, sink, 0, 0)
 	pkt := mkPacket(1, 1, 3)
 	injectSeq(h, r, 0, 0, pkt, 1)
 	h.run(40)
@@ -352,8 +354,8 @@ func TestRouterSlowLink(t *testing.T) {
 		LevelRates: []float64{5},
 	})
 	log := &flitLog{}
-	r.ConnectOutput(1, NewChannel(slow, h.wheel, log.deliver))
-	r.ConnectOutput(0, NewChannel(fullRateLink(t), h.wheel, func(sim.Cycle, FlitRef) {}))
+	r.ConnectOutput(1, NewChannel(slow, OnWheel(h.wheel), log.deliver))
+	r.ConnectOutput(0, NewChannel(fullRateLink(t), OnWheel(h.wheel), func(sim.Cycle, FlitRef) {}))
 	pkt := mkPacket(1, 1, 6)
 	injectSeq(h, r, 0, 0, pkt, 1)
 	h.run(60)

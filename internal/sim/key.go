@@ -1,0 +1,30 @@
+package sim
+
+// Actor keys order a cycle's events canonically in the sharded engine
+// (Wheel.BeginCycle). A key packs two 20-bit identifiers:
+//
+//   - owner: the actor whose state the event mutates. The shard that owns
+//     this actor — and only that shard — executes the event.
+//   - src: the actor (or channel) whose machinery schedules the event.
+//
+// The pair exists so that any two events with the SAME key are produced by
+// a single deterministic execution context: their relative insertion order
+// (the Seq tie-break) is then independent of the shard count. Owner 0 is
+// reserved for the coordinator band — events the network runs sequentially
+// before the parallel region (watchdog scans, liveness refreshes, telemetry
+// samplers, markers); shard contexts must never schedule key 0.
+
+// ActorSrcBits is the width of the src field in an actor key.
+const ActorSrcBits = 20
+
+// MaxActor is the largest representable actor/src identifier.
+const MaxActor = 1<<ActorSrcBits - 1
+
+// ActorKey packs (owner, src) into an ordering key. Both must fit in
+// ActorSrcBits bits.
+func ActorKey(owner, src uint32) uint64 {
+	return uint64(owner)<<ActorSrcBits | uint64(src&MaxActor)
+}
+
+// KeyOwner extracts the owning actor from a key (0 = coordinator band).
+func KeyOwner(key uint64) uint32 { return uint32(key >> ActorSrcBits) }

@@ -3,11 +3,22 @@ package sim
 import (
 	"container/heap"
 	"math/bits"
+	"slices"
 )
 
 // Event is a callback fired at a scheduled cycle. Events must not schedule
 // into the past.
 type Event func(now Cycle)
+
+// Entry is one scheduled event together with its ordering coordinates: the
+// actor key that owns it (see ActorKey) and the global insertion sequence
+// number. BeginCycle returns a cycle's entries sorted by (Key, Seq) — the
+// canonical order the sharded network engine executes in.
+type Entry struct {
+	Key uint64
+	Seq uint64
+	Ev  Event
+}
 
 // Wheel is a timing wheel for near-future events with a heap overflow for
 // far-future ones. Almost all simulator events (flit arrivals, channel
@@ -17,14 +28,26 @@ type Event func(now Cycle)
 // A per-bucket occupancy bitmap (one bit per bucket) makes NextEventAt a
 // few word scans, which is what lets the surrounding simulator fast-forward
 // over idle gaps instead of advancing cycle by cycle.
+//
+// Two draining disciplines coexist:
+//
+//   - Advance fires a cycle's events in insertion order (far-heap events
+//     first), exactly the historical sequential semantics. Standalone users
+//     (unit tests, the telemetry sampler driving its own wheel) use this.
+//   - BeginCycle hands the cycle's events back sorted by (Key, Seq) — a
+//     total order that is independent of how many shards produced them, as
+//     long as every key has a single deterministic producer. The parallel
+//     network engine uses this; see DESIGN.md §6g.
 type Wheel struct {
-	buckets   [][]Event
+	buckets   [][]Entry
 	occ       []uint64 // bit b set iff buckets[b] is non-empty
 	mask      Cycle
 	now       Cycle
 	horizon   Cycle
 	far       farHeap
 	pending   int
+	seq       uint64
+	run       []Entry // BeginCycle scratch, reused across cycles
 	advancing bool
 }
 
@@ -34,18 +57,28 @@ func NewWheel(size int) *Wheel {
 		panic("sim: wheel size must be a positive power of two")
 	}
 	return &Wheel{
-		buckets: make([][]Event, size),
+		buckets: make([][]Entry, size),
 		occ:     make([]uint64, (size+63)/64),
 		mask:    Cycle(size - 1),
 		horizon: Cycle(size),
 	}
 }
 
-// Schedule registers ev to fire at cycle at. Inside an Advance callback,
-// scheduling for the current cycle fires later in the same Advance; outside
-// of Advance, a request for the current cycle (or earlier) is deferred to
-// the next cycle, since the current cycle's bucket has already run.
+// Schedule registers ev to fire at cycle at under key 0 (the coordinator
+// band; see ScheduleKeyed). Inside an Advance callback, scheduling for the
+// current cycle fires later in the same Advance; outside of Advance, a
+// request for the current cycle (or earlier) is deferred to the next cycle,
+// since the current cycle's bucket has already run.
 func (w *Wheel) Schedule(at Cycle, ev Event) {
+	w.ScheduleKeyed(at, 0, ev)
+}
+
+// ScheduleKeyed registers ev to fire at cycle at under the given ordering
+// key. The sequence number is assigned here, at insertion, so the canonical
+// (Key, Seq) order of a cycle is fixed by the order Schedule calls reach the
+// wheel — which the sharded engine makes deterministic by draining staged
+// schedules in shard order.
+func (w *Wheel) ScheduleKeyed(at Cycle, key uint64, ev Event) {
 	if w.advancing {
 		if at < w.now {
 			at = w.now
@@ -54,18 +87,20 @@ func (w *Wheel) Schedule(at Cycle, ev Event) {
 		at = w.now + 1
 	}
 	w.pending++
+	w.seq++
 	if at-w.now >= w.horizon {
-		heap.Push(&w.far, farEvent{at: at, ev: ev})
+		heap.Push(&w.far, farEvent{at: at, key: key, seq: w.seq, ev: ev})
 		return
 	}
 	idx := at & w.mask
-	w.buckets[idx] = append(w.buckets[idx], ev)
+	w.buckets[idx] = append(w.buckets[idx], Entry{Key: key, Seq: w.seq, Ev: ev})
 	w.occ[idx>>6] |= 1 << (uint(idx) & 63)
 }
 
-// Advance runs every event scheduled for cycle now. Cycles must be
-// presented in increasing order; gaps are allowed only when every skipped
-// cycle is known to be event-free (see NextEventAt and SkipTo).
+// Advance runs every event scheduled for cycle now in insertion order.
+// Cycles must be presented in increasing order; gaps are allowed only when
+// every skipped cycle is known to be event-free (see NextEventAt and
+// SkipTo).
 func (w *Wheel) Advance(now Cycle) {
 	if Debug {
 		Assertf(now >= w.now, "wheel: Advance(%d) moves the clock backwards from %d", now, w.now)
@@ -89,14 +124,63 @@ func (w *Wheel) Advance(now Cycle) {
 	// Events may schedule new events for this same cycle; they land in the
 	// same bucket, so iterate by index and re-read.
 	for i := 0; i < len(w.buckets[idx]); i++ {
-		ev := w.buckets[idx][i]
-		w.buckets[idx][i] = nil
+		ev := w.buckets[idx][i].Ev
+		w.buckets[idx][i] = Entry{}
 		w.pending--
 		ev(now)
 	}
 	w.buckets[idx] = w.buckets[idx][:0]
 	w.occ[idx>>6] &^= 1 << (uint(idx) & 63)
 	w.advancing = false
+}
+
+// BeginCycle removes every event scheduled for cycle now — matured far-heap
+// events included — and returns them sorted by (Key, Seq): key-0
+// coordinator events first, then each actor's events in insertion order.
+// The caller owns running them; the returned slice is valid until the next
+// BeginCycle. Unlike Advance, callbacks that schedule for the current cycle
+// are deferred to the next one (the bucket has already been harvested), so
+// the canonical engine never sees same-cycle insertions.
+func (w *Wheel) BeginCycle(now Cycle) []Entry {
+	if Debug {
+		Assertf(now >= w.now, "wheel: BeginCycle(%d) moves the clock backwards from %d", now, w.now)
+		if next, ok := w.NextEventAt(); ok {
+			Assertf(next >= now, "wheel: BeginCycle(%d) would skip over the event scheduled at %d", now, next)
+		}
+	}
+	w.now = now
+	w.run = w.run[:0]
+	for len(w.far) > 0 && w.far[0].at <= now {
+		fe := heap.Pop(&w.far).(farEvent)
+		w.pending--
+		w.run = append(w.run, Entry{Key: fe.key, Seq: fe.seq, Ev: fe.ev})
+	}
+	idx := now & w.mask
+	b := w.buckets[idx]
+	if len(b) > 0 {
+		w.run = append(w.run, b...)
+		w.pending -= len(b)
+		for i := range b {
+			b[i] = Entry{}
+		}
+		w.buckets[idx] = b[:0]
+		w.occ[idx>>6] &^= 1 << (uint(idx) & 63)
+	}
+	if len(w.run) > 1 {
+		slices.SortFunc(w.run, func(a, b Entry) int {
+			if a.Key != b.Key {
+				if a.Key < b.Key {
+					return -1
+				}
+				return 1
+			}
+			if a.Seq < b.Seq {
+				return -1
+			}
+			return 1
+		})
+	}
+	return w.run
 }
 
 // SkipTo declares every cycle in (w.now, now] event-free and jumps the
@@ -165,14 +249,21 @@ func (w *Wheel) cycleFor(idx int) Cycle {
 func (w *Wheel) Pending() int { return w.pending }
 
 type farEvent struct {
-	at Cycle
-	ev Event
+	at  Cycle
+	key uint64
+	seq uint64
+	ev  Event
 }
 
 type farHeap []farEvent
 
-func (h farHeap) Len() int            { return len(h) }
-func (h farHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h farHeap) Len() int { return len(h) }
+func (h farHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
 func (h farHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *farHeap) Push(x interface{}) { *h = append(*h, x.(farEvent)) }
 func (h *farHeap) Pop() interface{} {

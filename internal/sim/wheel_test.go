@@ -322,3 +322,125 @@ func TestWheelRecurringSamplerBoundsSkips(t *testing.T) {
 		t.Fatalf("NextEventAt after boundary skip = %d,%v, want %d", got, ok, next)
 	}
 }
+
+// TestWheelSkipToOntoBarrier skips the clock exactly onto a wrap barrier (a
+// multiple of the wheel size) and then steps across it: the skip must leave
+// the bucket occupancy intact so events on both sides of the barrier still
+// fire on their cycles. This is the sharded engine's idle fast-forward
+// landing precisely on a window boundary.
+func TestWheelSkipToOntoBarrier(t *testing.T) {
+	w := NewWheel(16)
+	w.BeginCycle(0)
+	fired := map[Cycle]bool{}
+	mark := func(now Cycle) { fired[now] = true }
+	w.ScheduleKeyed(48, 7, mark) // far heap: 48-0 >= 16
+	if at, ok := w.NextEventAt(); !ok || at != 48 {
+		t.Fatalf("NextEventAt = %v,%v, want 48,true", at, ok)
+	}
+	w.SkipTo(32) // exactly a wheel-size multiple, event-free per NextEventAt
+	// From the barrier, schedule within the new window and on its last cycle.
+	w.ScheduleKeyed(40, 3, mark)
+	for c := Cycle(33); c <= 48; c++ {
+		for _, e := range w.BeginCycle(c) {
+			e.Ev(c)
+		}
+	}
+	if !fired[40] || !fired[48] {
+		t.Errorf("fired = %v, want events at 40 and 48", fired)
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d after drain", w.Pending())
+	}
+}
+
+// TestWheelBeginCycleEmpty: harvesting a cycle with zero events must return
+// an empty batch and leave the wheel fully usable — the sharded engine hits
+// this every idle cycle between policy windows.
+func TestWheelBeginCycleEmpty(t *testing.T) {
+	w := NewWheel(8)
+	w.ScheduleKeyed(5, 1, func(Cycle) {})
+	for c := Cycle(0); c < 5; c++ {
+		if batch := w.BeginCycle(c); len(batch) != 0 {
+			t.Fatalf("BeginCycle(%d) returned %d entries on an empty cycle", c, len(batch))
+		}
+		if w.Pending() != 1 {
+			t.Fatalf("empty BeginCycle(%d) changed pending to %d", c, w.Pending())
+		}
+	}
+	if batch := w.BeginCycle(5); len(batch) != 1 {
+		t.Fatalf("BeginCycle(5) returned %d entries, want 1", len(batch))
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d after harvest", w.Pending())
+	}
+}
+
+// TestWheelBeginCycleHorizonEdge pins the bucket/far-heap boundary under
+// the harvesting API: from cycle now, now+size-1 is the last bucketed cycle
+// and now+size must overflow to the far heap — and BeginCycle must harvest
+// both on their exact cycles, in (Key, Seq) order when they collide.
+func TestWheelBeginCycleHorizonEdge(t *testing.T) {
+	w := NewWheel(8)
+	w.BeginCycle(0)
+	var gotKeys []uint64
+	rec := func(key uint64) Event {
+		return func(Cycle) { gotKeys = append(gotKeys, key) }
+	}
+	w.ScheduleKeyed(7, 9, rec(9)) // last bucketed cycle
+	w.ScheduleKeyed(8, 4, rec(4)) // first far-heap cycle
+	if len(w.far) != 1 {
+		t.Fatalf("far heap holds %d events, want 1 (cycle 8 must overflow the horizon)", len(w.far))
+	}
+	// A far event maturing on the same cycle as a bucketed one must merge
+	// into a single sorted batch.
+	w.ScheduleKeyed(8, 2, rec(2))
+	if len(w.far) != 2 {
+		t.Fatalf("far heap holds %d events, want 2", len(w.far))
+	}
+	for c := Cycle(1); c <= 8; c++ {
+		batch := w.BeginCycle(c)
+		switch c {
+		case 7:
+			if len(batch) != 1 {
+				t.Fatalf("BeginCycle(7) returned %d entries, want 1", len(batch))
+			}
+		case 8:
+			if len(batch) != 2 {
+				t.Fatalf("BeginCycle(8) returned %d entries, want 2", len(batch))
+			}
+			if batch[0].Key != 2 || batch[1].Key != 4 {
+				t.Fatalf("BeginCycle(8) keys = [%d %d], want sorted [2 4]", batch[0].Key, batch[1].Key)
+			}
+		default:
+			if len(batch) != 0 {
+				t.Fatalf("BeginCycle(%d) returned %d entries, want 0", c, len(batch))
+			}
+		}
+		for _, e := range batch {
+			e.Ev(c)
+		}
+	}
+	want := []uint64{9, 2, 4}
+	if len(gotKeys) != 3 || gotKeys[0] != want[0] || gotKeys[1] != want[1] || gotKeys[2] != want[2] {
+		t.Errorf("fired key order = %v, want %v", gotKeys, want)
+	}
+}
+
+// TestWheelBeginCycleSameCycleDefers: under the harvesting API a callback
+// that schedules for the already-harvested cycle lands on the next one —
+// the canonical engine never sees same-cycle insertions.
+func TestWheelBeginCycleSameCycleDefers(t *testing.T) {
+	w := NewWheel(8)
+	var firedAt Cycle = -1
+	w.ScheduleKeyed(3, 1, func(now Cycle) {
+		w.ScheduleKeyed(now, 1, func(at Cycle) { firedAt = at })
+	})
+	for c := Cycle(0); c <= 4; c++ {
+		for _, e := range w.BeginCycle(c) {
+			e.Ev(c)
+		}
+	}
+	if firedAt != 4 {
+		t.Errorf("same-cycle insertion fired at %d, want deferral to 4", firedAt)
+	}
+}
