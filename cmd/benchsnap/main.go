@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/atomicio"
 )
 
 // Benchmark is one parsed result line.
@@ -141,7 +143,7 @@ func main() {
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := atomicio.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}

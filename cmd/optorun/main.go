@@ -9,6 +9,14 @@
 //	optorun scenario.json
 //	optorun -print-default          # emit a fully populated template
 //	echo '{}' | optorun -           # the paper's system, light uniform load
+//
+// It is also a crash-resilient run supervisor: -supervise executes a list
+// of scenarios each in its own worker subprocess with periodic
+// checkpoints, restarting crashed or hung workers from their newest valid
+// checkpoint and recording every outcome in a manifest, so an interrupted
+// matrix resumes exactly where it died:
+//
+//	optorun -supervise -out-dir results/ a.json b.json c.json
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/report"
 	"repro/internal/scenario"
@@ -24,7 +33,46 @@ import (
 func main() {
 	printDefault := flag.Bool("print-default", false, "print a template scenario and exit")
 	csv := flag.Bool("csv", false, "emit series tables as CSV")
+
+	superMode := flag.Bool("supervise", false, "run the scenarios as a supervised, crash-resilient matrix")
+	outDir := flag.String("out-dir", "optorun-out", "supervisor output directory (manifest, summaries, checkpoints, logs)")
+	retries := flag.Int("retries", 3, "supervisor: retries per scenario after a crash or timeout")
+	timeout := flag.Duration("timeout", 0, "supervisor: per-attempt deadline (0 = none)")
+	backoff := flag.Duration("backoff", time.Second, "supervisor: base retry backoff (linear in the attempt number)")
+
+	workerMode := flag.Bool("worker", false, "internal: run one scenario as a checkpointing worker")
+	ckptDir := flag.String("checkpoint-dir", "", "worker: checkpoint directory (empty = no checkpointing)")
+	ckptEvery := flag.Int64("checkpoint-every", 20_000, "checkpoint interval in cycles (0 = never)")
+	workerOut := flag.String("out", "", "worker: summary JSON output path")
 	flag.Parse()
+
+	switch {
+	case *workerMode:
+		if flag.NArg() != 1 || *workerOut == "" {
+			fmt.Fprintln(os.Stderr, "usage: optorun -worker -out summary.json [-checkpoint-dir d -checkpoint-every n] <scenario.json>")
+			os.Exit(2)
+		}
+		if err := runWorker(flag.Arg(0), *ckptDir, *ckptEvery, *workerOut); err != nil {
+			fatal(err)
+		}
+		return
+	case *superMode:
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: optorun -supervise [-out-dir d -retries n -timeout t] <scenario.json>...")
+			os.Exit(2)
+		}
+		err := supervise(superConfig{
+			OutDir:    *outDir,
+			CkptEvery: *ckptEvery,
+			Retries:   *retries,
+			Timeout:   *timeout,
+			Backoff:   *backoff,
+		}, flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *printDefault {
 		tmpl := scenario.Scenario{

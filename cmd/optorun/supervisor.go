@@ -1,0 +1,207 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/atomicio"
+)
+
+// superConfig collects the supervisor knobs.
+type superConfig struct {
+	OutDir    string
+	CkptEvery int64
+	Retries   int
+	Timeout   time.Duration
+	Backoff   time.Duration
+}
+
+// RunRecord is one scenario's entry in the manifest.
+type RunRecord struct {
+	Scenario string `json:"scenario"`
+	Status   string `json:"status"` // pending | running | done | failed
+	Attempts int    `json:"attempts"`
+	// Summary is the path of the published summary JSON (status done).
+	Summary string `json:"summary,omitempty"`
+	// Error is the last failure description (crash signal, timeout, or
+	// worker error) — kept even on success, as a record of survived crashes.
+	Error string `json:"error,omitempty"`
+}
+
+// Manifest records the outcome of every run in a scenario matrix. It is
+// rewritten atomically after every state change, so an interrupted matrix
+// resumes exactly where it died: done runs are skipped, everything else
+// restarts from its newest valid checkpoint.
+type Manifest struct {
+	CkptEvery int64       `json:"checkpointEvery"`
+	Runs      []RunRecord `json:"runs"`
+}
+
+func manifestPath(outDir string) string { return filepath.Join(outDir, "manifest.json") }
+
+func loadManifest(outDir string) (*Manifest, error) {
+	b, err := os.ReadFile(manifestPath(outDir))
+	if os.IsNotExist(err) {
+		return &Manifest{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("optorun: manifest %s is unreadable: %w", manifestPath(outDir), err)
+	}
+	return &m, nil
+}
+
+func (m *Manifest) save(outDir string) error {
+	js, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(manifestPath(outDir), append(js, '\n'), 0o644)
+}
+
+// record returns the manifest entry for a scenario, adding one if absent.
+func (m *Manifest) record(scPath string) *RunRecord {
+	for i := range m.Runs {
+		if m.Runs[i].Scenario == scPath {
+			return &m.Runs[i]
+		}
+	}
+	m.Runs = append(m.Runs, RunRecord{Scenario: scPath, Status: "pending"})
+	return &m.Runs[len(m.Runs)-1]
+}
+
+// runDirs returns the per-scenario working paths: checkpoint directory,
+// summary file, and worker log. Scenarios are keyed by position so two
+// files with the same base name cannot collide.
+func runDirs(outDir string, idx int, scPath string) (ckptDir, outPath, logPath string) {
+	key := fmt.Sprintf("%03d-%s", idx, scenarioName(scPath))
+	return filepath.Join(outDir, key+".ckpt"),
+		filepath.Join(outDir, key+".summary.json"),
+		filepath.Join(outDir, key+".log")
+}
+
+// supervise runs a scenario matrix with per-scenario subprocess isolation:
+// each scenario executes in its own worker process that auto-checkpoints,
+// so a panic, OOM kill, or stray SIGKILL costs at most one checkpoint
+// interval. Crashed or timed-out workers are retried with linear backoff
+// and resume from their newest valid checkpoint; outcomes land in
+// manifest.json after every transition.
+func supervise(cfg superConfig, scenarios []string) error {
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return err
+	}
+	m, err := loadManifest(cfg.OutDir)
+	if err != nil {
+		return err
+	}
+	m.CkptEvery = cfg.CkptEvery
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+
+	failed := 0
+	for idx, sc := range scenarios {
+		rec := m.record(sc)
+		if rec.Status == "done" {
+			fmt.Printf("optorun: %s already done, skipping\n", sc)
+			continue
+		}
+		ckptDir, outPath, logPath := runDirs(cfg.OutDir, idx, sc)
+		rec.Status = "running"
+		rec.Summary = ""
+		if err := m.save(cfg.OutDir); err != nil {
+			return err
+		}
+
+		var lastErr string
+		ok := false
+		for attempt := 1; attempt <= cfg.Retries+1; attempt++ {
+			rec.Attempts++
+			if err := m.save(cfg.OutDir); err != nil {
+				return err
+			}
+			err := runAttempt(cfg, self, sc, ckptDir, outPath, logPath)
+			if err == nil {
+				ok = true
+				break
+			}
+			lastErr = err.Error()
+			fmt.Fprintf(os.Stderr, "optorun: %s attempt %d: %v\n", sc, attempt, err)
+			if attempt <= cfg.Retries {
+				time.Sleep(cfg.Backoff * time.Duration(attempt))
+			}
+		}
+		rec.Error = lastErr
+		if ok {
+			rec.Status = "done"
+			rec.Summary = outPath
+			fmt.Printf("optorun: %s done (%d attempt(s)) -> %s\n", sc, rec.Attempts, outPath)
+		} else {
+			rec.Status = "failed"
+			failed++
+			fmt.Fprintf(os.Stderr, "optorun: %s failed after %d attempt(s): %s\n", sc, rec.Attempts, lastErr)
+		}
+		if err := m.save(cfg.OutDir); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d runs failed; see %s", failed, len(scenarios), manifestPath(cfg.OutDir))
+	}
+	return nil
+}
+
+// runAttempt spawns one worker process and classifies its exit: clean,
+// worker-reported error, crash (signal), or deadline. On timeout the
+// worker first gets SIGTERM; if it has not exited after five seconds the
+// kill escalates to SIGKILL.
+func runAttempt(cfg superConfig, self, scPath, ckptDir, outPath, logPath string) error {
+	ctx := context.Background()
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	logF, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer logF.Close()
+
+	cmd := exec.CommandContext(ctx, self,
+		"-worker",
+		"-checkpoint-dir", ckptDir,
+		"-checkpoint-every", strconv.FormatInt(cfg.CkptEvery, 10),
+		"-out", outPath,
+		scPath)
+	cmd.Stdout = logF
+	cmd.Stderr = logF
+	cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }
+	cmd.WaitDelay = 5 * time.Second
+
+	err = cmd.Run()
+	if ctx.Err() == context.DeadlineExceeded {
+		return fmt.Errorf("worker exceeded deadline %s", cfg.Timeout)
+	}
+	if err == nil {
+		return nil
+	}
+	if ee, isExit := err.(*exec.ExitError); isExit {
+		if ws, isWait := ee.Sys().(syscall.WaitStatus); isWait && ws.Signaled() {
+			return fmt.Errorf("worker killed by %s", ws.Signal())
+		}
+		return fmt.Errorf("worker exited with %s (see %s)", ee, logPath)
+	}
+	return err
+}

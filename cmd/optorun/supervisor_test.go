@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce builds the optorun binary once per test process; the harness
+// needs a real executable because crash recovery is only meaningful across
+// process boundaries.
+var buildOnce = struct {
+	sync.Once
+	bin string
+	err error
+}{}
+
+func optorunBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "optorun-harness")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "optorun")
+		out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+		if err != nil {
+			buildOnce.err = fmt.Errorf("building optorun: %v\n%s", err, out)
+			return
+		}
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatal(buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+// harnessScenario is a small faulty run: a 4x4 mesh with constant
+// corruption, relock failures, a hard link-failure window, and recovery
+// enabled, so the checkpoints the crash lands between hold live replay
+// buffers and a degraded topology.
+func harnessScenario(t *testing.T, dir string, shards int) string {
+	t.Helper()
+	sc := fmt.Sprintf(`{
+  "system": {"meshW": 4, "meshH": 4, "nodesPerRack": 2, "shards": %d, "seed": 3},
+  "workload": {"type": "uniform", "rate": 0.3, "packetFlits": 5},
+  "fault": {"berFloor": 2e-4, "relockFailProb": 0.3,
+            "linkFailures": [{"link": 3, "at": 3000, "repairAt": 8000}],
+            "recovery": true},
+  "run": {"warmup": 2000, "measure": 20000}
+}`, shards)
+	path := filepath.Join(dir, fmt.Sprintf("faulty-shards%d.json", shards))
+	if err := os.WriteFile(path, []byte(sc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runSupervisor(t *testing.T, bin, outDir string, env []string, scenarios ...string) (string, error) {
+	t.Helper()
+	args := append([]string{"-supervise", "-out-dir", outDir, "-checkpoint-every", "5000"}, scenarios...)
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func readManifest(t *testing.T, outDir string) Manifest {
+	t.Helper()
+	b, err := os.ReadFile(manifestPath(outDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSupervisorSurvivesSIGKILL is the crash-recovery acceptance harness:
+// a worker is SIGKILLed mid-run between checkpoints (via the kill-token
+// hook, which dies exactly like an external `kill -9`), the supervisor
+// detects the signal, retries, and the resumed run's summary is
+// byte-identical to a clean uninterrupted pass — across shard counts, with
+// fault injection and recovery active.
+func TestSupervisorSurvivesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := optorunBin(t)
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			sc := harnessScenario(t, dir, shards)
+
+			cleanDir := filepath.Join(dir, "clean")
+			if out, err := runSupervisor(t, bin, cleanDir, nil, sc); err != nil {
+				t.Fatalf("clean pass: %v\n%s", err, out)
+			}
+			cleanSum, err := os.ReadFile(filepath.Join(cleanDir, "000-faulty-shards"+fmt.Sprint(shards)+".summary.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Arm the kill token: the worker SIGKILLs itself right after
+			// writing its second checkpoint (cycle 10000 of 22000, inside
+			// the measured window).
+			token := filepath.Join(dir, "kill.token")
+			if err := os.WriteFile(token, []byte("2"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			killDir := filepath.Join(dir, "killed")
+			out, err := runSupervisor(t, bin, killDir, []string{killTokenEnv + "=" + token}, sc)
+			if err != nil {
+				t.Fatalf("killed pass did not recover: %v\n%s", err, out)
+			}
+			if !strings.Contains(out, "killed") {
+				t.Fatalf("supervisor output does not report the kill:\n%s", out)
+			}
+			if _, err := os.Stat(token); !os.IsNotExist(err) {
+				t.Fatalf("kill token not consumed: %v", err)
+			}
+
+			m := readManifest(t, killDir)
+			if len(m.Runs) != 1 || m.Runs[0].Status != "done" || m.Runs[0].Attempts != 2 {
+				t.Fatalf("manifest = %+v, want one done run with 2 attempts", m.Runs)
+			}
+			if !strings.Contains(m.Runs[0].Error, "killed") {
+				t.Errorf("manifest does not record the crash: %+v", m.Runs[0])
+			}
+
+			killedSum, err := os.ReadFile(m.Runs[0].Summary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(killedSum, cleanSum) {
+				t.Errorf("resumed summary diverges from clean pass:\n--- clean\n%s\n--- resumed\n%s", cleanSum, killedSum)
+			}
+		})
+	}
+}
+
+// TestSupervisorResumesMatrix checks manifest-driven resumption: rerunning
+// a finished matrix re-executes nothing, and an interrupted matrix picks
+// up only the unfinished scenarios.
+func TestSupervisorResumesMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := optorunBin(t)
+	dir := t.TempDir()
+	sc1 := harnessScenario(t, dir, 1)
+	sc4 := harnessScenario(t, dir, 4)
+	outDir := filepath.Join(dir, "out")
+
+	// First pass runs only the first scenario (simulating an operator
+	// interrupted before queueing the rest).
+	if out, err := runSupervisor(t, bin, outDir, nil, sc1); err != nil {
+		t.Fatalf("first pass: %v\n%s", err, out)
+	}
+	// Second pass with the full matrix: scenario 1 must be skipped.
+	out, err := runSupervisor(t, bin, outDir, nil, sc1, sc4)
+	if err != nil {
+		t.Fatalf("resume pass: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "already done, skipping") {
+		t.Errorf("resume pass re-ran a finished scenario:\n%s", out)
+	}
+	m := readManifest(t, outDir)
+	if len(m.Runs) != 2 {
+		t.Fatalf("manifest has %d runs, want 2", len(m.Runs))
+	}
+	for _, r := range m.Runs {
+		if r.Status != "done" || r.Attempts != 1 {
+			t.Errorf("run %+v, want done in 1 attempt", r)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/atomicio"
 	"repro/internal/experiments"
 	"repro/internal/plot"
 	"repro/internal/stats"
@@ -120,12 +121,12 @@ func writeCharts(dir string, charts []namedChart) error {
 	}
 	for _, nc := range charts {
 		path := filepath.Join(dir, nc.stem+".svg")
-		f, err := os.Create(path)
+		f, err := atomicio.Create(path)
 		if err != nil {
 			return err
 		}
 		if err := nc.chart.WriteSVG(f); err != nil {
-			f.Close()
+			f.Abort()
 			return err
 		}
 		if err := f.Close(); err != nil {

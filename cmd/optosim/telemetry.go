@@ -3,8 +3,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
+	"io"
 
+	"repro/internal/atomicio"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -42,14 +43,14 @@ func exportTelemetry(reg *telemetry.Registry) error {
 		return nil
 	}
 	if *traceOut != "" {
-		if err := writeTo(*traceOut, func(f *os.File) error {
+		if err := writeTo(*traceOut, func(f io.Writer) error {
 			return telemetry.WriteChromeTrace(f, reg)
 		}); err != nil {
 			return err
 		}
 	}
 	if *telemCSVOut != "" {
-		if err := writeTo(*telemCSVOut, func(f *os.File) error {
+		if err := writeTo(*telemCSVOut, func(f io.Writer) error {
 			return telemetry.WriteCSV(f, reg)
 		}); err != nil {
 			return err
@@ -60,7 +61,7 @@ func exportTelemetry(reg *telemetry.Registry) error {
 	// so the artifact always exists.
 	if *flightOut != "" {
 		if written, _ := reg.Dumps(); written == 0 {
-			if err := writeTo(*flightOut, func(f *os.File) error {
+			if err := writeTo(*flightOut, func(f io.Writer) error {
 				return reg.DumpFlight(f, lastSampleCycle(reg), "end_of_run")
 			}); err != nil {
 				return err
@@ -70,13 +71,16 @@ func exportTelemetry(reg *telemetry.Registry) error {
 	return nil
 }
 
-func writeTo(path string, fn func(*os.File) error) error {
-	f, err := os.Create(path)
+// writeTo publishes an artifact atomically: the content is staged in a
+// temp file and renamed into place on success, so an interrupted run never
+// leaves a torn trace, CSV, or flight dump.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := atomicio.Create(path)
 	if err != nil {
 		return fmt.Errorf("optosim: %w", err)
 	}
 	if err := fn(f); err != nil {
-		f.Close()
+		f.Abort()
 		return err
 	}
 	return f.Close()

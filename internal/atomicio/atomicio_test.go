@@ -1,0 +1,69 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "new" {
+		t.Fatalf("read %q, %v", b, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want 1 (no leaked temp files)", len(entries))
+	}
+}
+
+func TestCreateCloseAbort(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dump.json")
+
+	a, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	// Before Close the destination must not exist.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists before Close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "partial" {
+		t.Fatalf("read %q", b)
+	}
+
+	// Abort leaves the published file alone and no temp behind.
+	a2, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2.Write([]byte("doomed"))
+	a2.Abort()
+	b, _ = os.ReadFile(path)
+	if string(b) != "partial" {
+		t.Fatalf("abort clobbered destination: %q", b)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after abort, want 1", len(entries))
+	}
+}

@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// LinkFaultState is one link's private fault state: the positions of its two
+// RNG sub-streams and its activity counters. The cached corruption
+// probability is deliberately excluded — it is a pure function of the link's
+// (electrical, optical) level pair and is recomputed on first use after a
+// restore.
+type LinkFaultState struct {
+	Link        int
+	CRNG        sim.RNGState
+	RRNG        sim.RNGState
+	Corrupted   int64
+	RelockFails int64
+}
+
+// InjectorState is the exportable mutable state of an Injector. The failure
+// schedule and configuration are rebuilt from the scenario, not serialized.
+type InjectorState struct {
+	Links []LinkFaultState // sorted by Link
+}
+
+// ExportState captures every instantiated link's fault state in canonical
+// (link-index) order. Links whose state was never touched are not present;
+// a restored injector lazily re-creates them at the identical stream
+// positions, so the set of exported links does not affect determinism.
+func (in *Injector) ExportState() InjectorState {
+	ids := make([]int, 0, len(in.links))
+	for id := range in.links {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	st := InjectorState{Links: make([]LinkFaultState, 0, len(ids))}
+	for _, id := range ids {
+		ls := in.links[id]
+		st.Links = append(st.Links, LinkFaultState{
+			Link:        id,
+			CRNG:        ls.crng.State(),
+			RRNG:        ls.rrng.State(),
+			Corrupted:   ls.corrupted,
+			RelockFails: ls.relockFails,
+		})
+	}
+	return st
+}
+
+// RestoreState overwrites the injector's per-link fault state. Link states
+// not yet instantiated are created (at their canonical stream positions)
+// before being overwritten; the probability cache is invalidated so the
+// first post-restore draw recomputes it from the restored powerlink level.
+func (in *Injector) RestoreState(st InjectorState) error {
+	for _, l := range st.Links {
+		if l.Link < 0 {
+			return fmt.Errorf("fault: snapshot has negative link index %d", l.Link)
+		}
+		ls := in.state(l.Link)
+		ls.crng.SetState(l.CRNG)
+		ls.rrng.SetState(l.RRNG)
+		ls.corrupted = l.Corrupted
+		ls.relockFails = l.RelockFails
+		ls.probValid = false
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -16,11 +17,16 @@ import (
 //     an ad-hoc generator is seeded outside the stream-splitting scheme;
 //   - sim.NewRNG outside package sim itself: raw construction bypasses the
 //     (seed, stream) derivation — derive via sim.NewStream or Fork an
-//     existing stream instead.
+//     existing stream instead;
+//   - RNG.State / RNG.SetState outside a package's snapshot.go: raw access
+//     to generator state is the checkpoint layer's privilege. Anywhere else
+//     it enables save/replay tricks that silently decouple a subsystem's
+//     draw sequence from the (seed, stream) contract.
 var RNGStreamAnalyzer = &Analyzer{
 	Name: "rngstream",
 	Doc: "all sim-core randomness must flow through the seeded split-stream " +
-		"constructors (sim.NewStream), never ad-hoc rand.New",
+		"constructors (sim.NewStream), never ad-hoc rand.New; RNG state " +
+		"export/restore is reserved to checkpoint snapshot surfaces",
 	Run: runRNGStream,
 }
 
@@ -48,10 +54,24 @@ func runRNGStream(pass *Pass) error {
 				pass.Reportf(sel.Pos(), "sim.NewRNG outside package sim bypasses the (seed, stream) "+
 					"derivation; use sim.NewStream or Fork an existing stream")
 			}
+			if pass.Path != simPkgPath &&
+				(sel.Sel.Name == "State" || sel.Sel.Name == "SetState") &&
+				isSimFunc(pass.TypesInfo, sel.Sel) &&
+				!isSnapshotFile(pass, sel.Pos()) {
+				pass.Reportf(sel.Pos(), "RNG.%s outside a snapshot.go checkpoint surface: raw generator "+
+					"state access belongs to internal/checkpoint's export/restore path only", sel.Sel.Name)
+			}
 			return true
 		})
 	}
 	return nil
+}
+
+// isSnapshotFile reports whether pos lies in a file named snapshot.go —
+// the designated per-package checkpoint surface, the one place allowed to
+// read or overwrite raw RNG state.
+func isSnapshotFile(pass *Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "snapshot.go")
 }
 
 // isSimFunc reports whether id resolves to a function of the sim package

@@ -26,3 +26,12 @@ func badStdlib() int {
 func badRawRNG(seed uint64) *sim.RNG {
 	return sim.NewRNG(seed) // want "rngstream: sim.NewRNG outside package sim"
 }
+
+// Bad: raw generator state access outside a snapshot.go file — simulation
+// code must consume draws, never save and replay generator positions.
+func badStateAccess(r *sim.RNG) uint64 {
+	st := r.State() // want "rngstream: RNG.State outside a snapshot.go"
+	v := r.Uint64()
+	r.SetState(st) // want "rngstream: RNG.SetState outside a snapshot.go"
+	return v
+}

@@ -1,0 +1,17 @@
+package rngstreamtest
+
+import "repro/internal/sim"
+
+// A file named snapshot.go is a checkpoint surface: exporting and
+// restoring raw RNG state here is the sanctioned use, so none of these
+// calls are flagged.
+
+// ExportState captures the generator position for a checkpoint.
+func ExportState(r *sim.RNG) sim.RNGState {
+	return r.State()
+}
+
+// RestoreState rewinds the generator to a checkpointed position.
+func RestoreState(r *sim.RNG, st sim.RNGState) {
+	r.SetState(st)
+}

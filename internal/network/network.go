@@ -233,6 +233,7 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 			ch := router.NewChannel(pl, owner, n.routers[dst].AcceptFlit(inPort))
 			ch.SetKeys(sim.ActorKey(n.routerActor(r), n.chanSrc(li)),
 				sim.ActorKey(n.routerActor(dst), n.chanSrc(li)))
+			ch.SetLink(li)
 			n.routers[r].ConnectOutput(outPort, ch)
 			n.meshOut[r][h.dir] = ch
 			n.meshLink[r][h.dir] = li
@@ -267,6 +268,7 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 		chIn := router.NewChannel(plIn, owner, n.routers[r].AcceptFlit(local))
 		chIn.SetKeys(sim.ActorKey(n.nicActor(node), n.chanSrc(li)),
 			sim.ActorKey(n.routerActor(r), n.chanSrc(li)))
+		chIn.SetLink(li)
 		nic := newNIC(n, owner, node, chIn, cfg.VCs, cfg.BufDepth)
 		n.nics[node] = nic
 		bufs := make([]*router.Buffer, cfg.VCs)
@@ -294,6 +296,7 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 		chOut := router.NewChannel(plOut, owner, n.sinkDeliver(out, owner))
 		chOut.SetKeys(sim.ActorKey(n.routerActor(r), n.chanSrc(li)),
 			sim.ActorKey(n.routerActor(r), n.chanSrc(li)))
+		chOut.SetLink(li)
 		n.routers[r].ConnectOutput(local, chOut)
 		n.channels = append(n.channels, chOut)
 		n.chanOwner = append(n.chanOwner, owner)
@@ -567,7 +570,7 @@ func (n *Network) Step() {
 	// so this assigns sequence numbers in a K-invariant per-key order.
 	for _, s := range shards {
 		for _, se := range s.staged {
-			n.wheel.ScheduleKeyed(se.at, se.key, se.ev)
+			n.wheel.ScheduleKeyedID(se.at, se.key, se.id, se.ev)
 		}
 		s.staged = s.staged[:0]
 	}

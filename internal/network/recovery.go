@@ -135,8 +135,9 @@ func newRecovery(n *Network, cfg RecoveryConfig) *recovery {
 			continue // node link: routing cannot steer around it
 		}
 		ref := n.meshRef[w.Link]
-		n.wheel.Schedule(w.At, func(at sim.Cycle) { rec.refresh(at, ref.r, ref.dir) })
-		n.wheel.Schedule(w.RepairAt, func(at sim.Cycle) { rec.refresh(at, ref.r, ref.dir) })
+		id := sim.HandlerID(sim.HRecRefresh, uint32(ref.r), uint16(ref.dir))
+		n.wheel.ScheduleID(w.At, id, func(at sim.Cycle) { rec.refresh(at, ref.r, ref.dir) })
+		n.wheel.ScheduleID(w.RepairAt, id, func(at sim.Cycle) { rec.refresh(at, ref.r, ref.dir) })
 	}
 	return rec
 }
@@ -157,7 +158,8 @@ func (rec *recovery) refresh(now sim.Cycle, r, dir int) {
 		if until <= now {
 			until = now + 1
 		}
-		rec.n.wheel.Schedule(until, func(at sim.Cycle) { rec.refresh(at, r, dir) })
+		rec.n.wheel.ScheduleID(until, sim.HandlerID(sim.HRecRefresh, uint32(r), uint16(dir)),
+			func(at sim.Cycle) { rec.refresh(at, r, dir) })
 	}
 }
 
@@ -222,7 +224,7 @@ func (rec *recovery) armScan(now sim.Cycle) {
 		return
 	}
 	rec.scanArmed = true
-	rec.n.wheel.Schedule(now+rec.cfg.ScanEvery, rec.scanEvt)
+	rec.n.wheel.ScheduleID(now+rec.cfg.ScanEvery, sim.HandlerID(sim.HRecScan, 0, 0), rec.scanEvt)
 }
 
 // scan is the stall watchdog: every input VC whose head-of-line flit has

@@ -26,6 +26,7 @@ import (
 type stagedEv struct {
 	at  sim.Cycle
 	key uint64
+	id  uint64
 	ev  sim.Event
 }
 
@@ -95,13 +96,13 @@ type shard struct {
 }
 
 // Schedule implements router.Sched: stage the request for the barrier.
-func (s *shard) Schedule(at sim.Cycle, key uint64, ev sim.Event) {
+func (s *shard) Schedule(at sim.Cycle, key, id uint64, ev sim.Event) {
 	if sim.Debug {
 		sim.Assertf(key != 0, "shard %d: scheduling into the coordinator band (key 0)", s.idx)
 		sim.Assertf(s.n.shardOfActor(sim.KeyOwner(key)) == s.idx,
 			"shard %d: scheduling key %#x owned by shard %d", s.idx, key, s.n.shardOfActor(sim.KeyOwner(key)))
 	}
-	s.staged = append(s.staged, stagedEv{at: at, key: key, ev: ev})
+	s.staged = append(s.staged, stagedEv{at: at, key: key, id: id, ev: ev})
 }
 
 // ActivateOutput implements router.Scheduler.

@@ -1,0 +1,71 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ControllerState is the exportable mutable state of a Controller. The
+// configuration, link, and utilisation source are identified structurally by
+// the restore target (a freshly built controller over the same link), so only
+// the dynamic fields travel.
+type ControllerState struct {
+	LastBusy   float64
+	LastFlits  int64
+	LastOccInt float64
+
+	History []float64
+	HIdx    int
+	HCount  int
+	EWMA    float64
+	EWMASet bool
+
+	EpochEnd      sim.Cycle
+	EpochAllLower bool
+
+	Stats Stats
+}
+
+// ExportState captures the controller's mutable state.
+func (c *Controller) ExportState() ControllerState {
+	hist := make([]float64, len(c.history))
+	copy(hist, c.history)
+	return ControllerState{
+		LastBusy:      c.lastBusy,
+		LastFlits:     c.lastFlits,
+		LastOccInt:    c.lastOccInt,
+		History:       hist,
+		HIdx:          c.hIdx,
+		HCount:        c.hCount,
+		EWMA:          c.ewma,
+		EWMASet:       c.ewmaSet,
+		EpochEnd:      c.epochEnd,
+		EpochAllLower: c.epochAllLower,
+		Stats:         c.stats,
+	}
+}
+
+// RestoreState overwrites the controller's mutable state from a snapshot.
+// The controller must have been built with the same configuration
+// (SlidingN in particular).
+func (c *Controller) RestoreState(st ControllerState) error {
+	if len(st.History) != len(c.history) {
+		return fmt.Errorf("policy: snapshot history window %d, controller has %d", len(st.History), len(c.history))
+	}
+	if st.HIdx < 0 || st.HIdx >= len(c.history) || st.HCount < 0 || st.HCount > len(c.history) {
+		return fmt.Errorf("policy: snapshot history cursor %d/%d out of range", st.HIdx, st.HCount)
+	}
+	c.lastBusy = st.LastBusy
+	c.lastFlits = st.LastFlits
+	c.lastOccInt = st.LastOccInt
+	copy(c.history, st.History)
+	c.hIdx = st.HIdx
+	c.hCount = st.HCount
+	c.ewma = st.EWMA
+	c.ewmaSet = st.EWMASet
+	c.epochEnd = st.EpochEnd
+	c.epochAllLower = st.EpochAllLower
+	c.stats = st.Stats
+	return nil
+}

@@ -1,0 +1,90 @@
+package powerlink
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// State is the exportable mutable state of a Link. Configuration, fault
+// sources, and observability hooks are not included — a restore target is a
+// freshly constructed link with the same configuration and re-installed
+// hooks, and only the dynamic fields below are overwritten.
+//
+// Export reads the raw fields without advancing the lazy state machine:
+// energy integration is floating-point and segmentation-sensitive
+// (p·(a+b) ≠ p·a + p·b), so forcing an accrual boundary at the checkpoint
+// cycle would make the restored run's energy differ in the last bits from
+// the uninterrupted one. Restoring the raw accumulator and lastTime keeps
+// the integration segments — and therefore every summed energy — identical.
+type State struct {
+	Level        int
+	Target       int
+	Phase        int
+	PhaseEnd     sim.Cycle
+	OpticalLevel int
+
+	PowerW   float64
+	EnergyJ  float64
+	LastTime sim.Cycle
+
+	TimeAtLevel []sim.Cycle
+	TimeOff     sim.Cycle
+	Transitions int
+	DisabledFor sim.Cycle
+
+	RelockRetry int
+	RelockFails int
+}
+
+// ExportState captures the link's mutable state verbatim (no lazy advance).
+func (l *Link) ExportState() State {
+	tal := make([]sim.Cycle, len(l.timeAtLevel))
+	copy(tal, l.timeAtLevel)
+	return State{
+		Level:        l.level,
+		Target:       l.target,
+		Phase:        int(l.phase),
+		PhaseEnd:     l.phaseEnd,
+		OpticalLevel: l.opticalLevel,
+		PowerW:       l.powerW,
+		EnergyJ:      l.energyJ,
+		LastTime:     l.lastTime,
+		TimeAtLevel:  tal,
+		TimeOff:      l.timeOff,
+		Transitions:  l.transitions,
+		DisabledFor:  l.disabledFor,
+		RelockRetry:  l.relockRetry,
+		RelockFails:  l.relockFails,
+	}
+}
+
+// RestoreState overwrites the link's mutable state from a snapshot. The
+// link must have been built with the same configuration (level ladder).
+func (l *Link) RestoreState(st State) error {
+	if len(st.TimeAtLevel) != len(l.timeAtLevel) {
+		return fmt.Errorf("powerlink: snapshot has %d levels, link has %d", len(st.TimeAtLevel), len(l.timeAtLevel))
+	}
+	if st.Level < offLevel || st.Level >= len(l.cfg.LevelRates) ||
+		st.Target < offLevel || st.Target >= len(l.cfg.LevelRates) {
+		return fmt.Errorf("powerlink: snapshot level %d/target %d out of range", st.Level, st.Target)
+	}
+	if st.Phase < int(phaseSteady) || st.Phase > int(phaseWake) {
+		return fmt.Errorf("powerlink: snapshot phase %d out of range", st.Phase)
+	}
+	l.level = st.Level
+	l.target = st.Target
+	l.phase = phase(st.Phase)
+	l.phaseEnd = st.PhaseEnd
+	l.opticalLevel = st.OpticalLevel
+	l.powerW = st.PowerW
+	l.energyJ = st.EnergyJ
+	l.lastTime = st.LastTime
+	copy(l.timeAtLevel, st.TimeAtLevel)
+	l.timeOff = st.TimeOff
+	l.transitions = st.Transitions
+	l.disabledFor = st.DisabledFor
+	l.relockRetry = st.RelockRetry
+	l.relockFails = st.RelockFails
+	return nil
+}

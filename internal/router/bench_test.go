@@ -77,8 +77,8 @@ type benchHarness struct {
 	active []*Output
 }
 
-func (h *benchHarness) Schedule(at sim.Cycle, key uint64, ev sim.Event) {
-	h.wheel.ScheduleKeyed(at, key, ev)
+func (h *benchHarness) Schedule(at sim.Cycle, key, id uint64, ev sim.Event) {
+	h.wheel.ScheduleKeyedID(at, key, id, ev)
 }
 func (h *benchHarness) ActivateOutput(o *Output) {
 	if !o.Active() {

@@ -136,6 +136,10 @@ type Channel struct {
 	selfKey    uint64
 	deliverKey uint64
 
+	// link is the channel's global link index — the obj field of its
+	// checkpoint handler descriptors. Standalone channels leave it 0.
+	link uint32
+
 	busyUntilMC int64   // milli-cycles; channel idle when <= now*1000
 	busyCycles  float64 // cumulative serialisation time, for policy Lu
 	flits       int64
@@ -178,6 +182,38 @@ func NewChannel(pl *powerlink.Link, sched Sched, deliver DeliverFunc) *Channel {
 func (c *Channel) SetKeys(selfKey, deliverKey uint64) {
 	c.selfKey = selfKey
 	c.deliverKey = deliverKey
+}
+
+// SetLink records the channel's global link index, the obj field of its
+// checkpoint handler descriptors. Must be called during construction.
+func (c *Channel) SetLink(li int) { c.link = uint32(li) }
+
+func (c *Channel) hid(kind uint8) uint64 { return sim.HandlerID(kind, c.link, 0) }
+
+// ResolveHandler maps a checkpoint handler descriptor owned by this channel
+// back to its event closure (see sim.HandlerID).
+func (c *Channel) ResolveHandler(id uint64) (sim.Event, bool) {
+	switch sim.HandlerKind(id) {
+	case sim.HChanDeliver:
+		return c.deliverEvt, true
+	case sim.HChanAccept:
+		if c.rel != nil {
+			return c.rel.acceptEvt, true
+		}
+	case sim.HChanFeedback:
+		if c.rel != nil {
+			return c.rel.fbEvt, true
+		}
+	case sim.HChanPump:
+		if c.rel != nil {
+			return c.rel.pumpEvt, true
+		}
+	case sim.HChanWatchdog:
+		if c.rel != nil {
+			return c.rel.wdEvt, true
+		}
+	}
+	return nil, false
 }
 
 // EnableReliability switches the channel to reliable delivery under cfg.
@@ -362,7 +398,7 @@ func (c *Channel) transmit(now sim.Cycle, tf txFlit) sim.Cycle {
 	if c.rel != nil {
 		key = c.selfKey
 	}
-	c.sched.Schedule(arrival, key, c.deliverEvt)
+	c.sched.Schedule(arrival, key, c.hid(sim.HChanDeliver), c.deliverEvt)
 	return arrival
 }
 
@@ -396,13 +432,13 @@ func (c *Channel) relArrival(now sim.Cycle, tf txFlit) {
 		}
 		r.rxExpect++
 		r.rx.Push(tf.f)
-		c.sched.Schedule(now+1, c.deliverKey, r.acceptEvt)
+		c.sched.Schedule(now+1, c.deliverKey, c.hid(sim.HChanAccept), r.acceptEvt)
 	}
 	// Every arrival (even a drop) is worth reporting: the cumulative ack
 	// releases sender window space, and wantReplay rides along.
 	if !r.fbArmed {
 		r.fbArmed = true
-		c.sched.Schedule(now+r.cfg.AckDelay, c.selfKey, r.fbEvt)
+		c.sched.Schedule(now+r.cfg.AckDelay, c.selfKey, c.hid(sim.HChanFeedback), r.fbEvt)
 	}
 }
 
@@ -506,7 +542,7 @@ func (c *Channel) armPump(at sim.Cycle) {
 		return
 	}
 	r.pumpArmed = true
-	c.sched.Schedule(at, c.selfKey, r.pumpEvt)
+	c.sched.Schedule(at, c.selfKey, c.hid(sim.HChanPump), r.pumpEvt)
 }
 
 func (c *Channel) armWatchdog(at sim.Cycle) {
@@ -515,7 +551,7 @@ func (c *Channel) armWatchdog(at sim.Cycle) {
 		return
 	}
 	r.wdArmed = true
-	c.sched.Schedule(at, c.selfKey, r.wdEvt)
+	c.sched.Schedule(at, c.selfKey, c.hid(sim.HChanWatchdog), r.wdEvt)
 }
 
 // OutstandingFlits returns the number of flits granted onto this channel

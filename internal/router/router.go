@@ -23,7 +23,11 @@ func AllVCs(n int) uint32 { return uint32(1)<<uint(n) - 1 }
 // adapt a wheel directly via OnWheel. The key orders same-cycle events
 // canonically (see sim.ActorKey); key 0 is the sequential coordinator band.
 type Sched interface {
-	Schedule(at sim.Cycle, key uint64, ev sim.Event)
+	// Schedule registers ev to fire at cycle at. id is the checkpoint
+	// handler descriptor (sim.HandlerID) naming the handler behind ev so a
+	// snapshot of the wheel can be resolved back to closures on restore; 0
+	// marks the entry as not snapshotable.
+	Schedule(at sim.Cycle, key, id uint64, ev sim.Event)
 }
 
 // Scheduler is the part of the surrounding network the router talks to:
@@ -41,8 +45,8 @@ func OnWheel(w *sim.Wheel) Sched { return wheelSched{w} }
 
 type wheelSched struct{ w *sim.Wheel }
 
-func (ws wheelSched) Schedule(at sim.Cycle, key uint64, ev sim.Event) {
-	ws.w.ScheduleKeyed(at, key, ev)
+func (ws wheelSched) Schedule(at sim.Cycle, key, id uint64, ev sim.Event) {
+	ws.w.ScheduleKeyedID(at, key, id, ev)
 }
 
 // CreditSink receives returned credits for a virtual channel: the upstream
@@ -200,6 +204,37 @@ func New(cfg Config, sched Scheduler) *Router {
 // ID returns the router's identifier.
 func (r *Router) ID() int { return r.id }
 
+// holID and creditID build the checkpoint descriptors for this router's
+// per-input-VC events.
+func (r *Router) holID(ivc int) uint64 {
+	return sim.HandlerID(sim.HRouterHOL, uint32(r.id), uint16(ivc))
+}
+
+func (r *Router) creditID(ivc int) uint64 {
+	return sim.HandlerID(sim.HRouterCredit, uint32(r.id), uint16(ivc))
+}
+
+// ResolveHandler maps a checkpoint handler descriptor owned by this router
+// back to its event closure (see sim.HandlerID).
+func (r *Router) ResolveHandler(id uint64) (sim.Event, bool) {
+	param := int(sim.HandlerParam(id))
+	switch sim.HandlerKind(id) {
+	case sim.HRouterHOL:
+		if param < len(r.ins) {
+			return r.ins[param].holEvt, true
+		}
+	case sim.HRouterCredit:
+		if param < len(r.ins) {
+			return r.ins[param].creditEvt, true
+		}
+	case sim.HRouterWake:
+		if param < len(r.outs) {
+			return r.outs[param].wakeEvt, true
+		}
+	}
+	return nil, false
+}
+
 // Ports returns the number of ports.
 func (r *Router) Ports() int { return r.ports }
 
@@ -269,7 +304,7 @@ func (r *Router) register(now sim.Cycle, ivc int) {
 		f = in.buf.Front()
 	}
 	if f.ReadyAt > now {
-		r.sched.Schedule(f.ReadyAt, r.selfKey, in.holEvt)
+		r.sched.Schedule(f.ReadyAt, r.selfKey, r.holID(ivc), in.holEvt)
 		return
 	}
 	if f.IsHead() && in.route < 0 {
@@ -306,7 +341,7 @@ func (r *Router) discardKilled(now sim.Cycle, ivc int) {
 		in.progressAt = now
 		r.flitsDiscarded++
 		if in.upstream != nil {
-			r.sched.Schedule(now+CreditDelay, in.creditKey, in.creditEvt)
+			r.sched.Schedule(now+CreditDelay, in.creditKey, r.creditID(ivc), in.creditEvt)
 		}
 		if f.IsTail() && in.curPkt == p {
 			if in.outVC >= 0 {
@@ -500,7 +535,7 @@ func (o *Output) TryGrant(now sim.Cycle) bool {
 			if at <= now {
 				at = now + 1
 			}
-			r.sched.Schedule(at, r.selfKey, o.wakeEvt)
+			r.sched.Schedule(at, r.selfKey, sim.HandlerID(sim.HRouterWake, uint32(r.id), uint16(o.port)), o.wakeEvt)
 		}
 		return false
 	}
@@ -558,7 +593,7 @@ func (o *Output) TryGrant(now sim.Cycle) bool {
 			r.escGrants++
 		}
 		if in.upstream != nil {
-			r.sched.Schedule(now+CreditDelay, in.creditKey, in.creditEvt)
+			r.sched.Schedule(now+CreditDelay, in.creditKey, r.creditID(ivc), in.creditEvt)
 		}
 		f.VC = int8(v)
 		o.ch.Send(now, f)

@@ -16,8 +16,8 @@ type harness struct {
 	now    sim.Cycle
 }
 
-func (h *harness) Schedule(at sim.Cycle, key uint64, ev sim.Event) {
-	h.wheel.ScheduleKeyed(at, key, ev)
+func (h *harness) Schedule(at sim.Cycle, key, id uint64, ev sim.Event) {
+	h.wheel.ScheduleKeyedID(at, key, id, ev)
 }
 func (h *harness) ActivateOutput(o *Output) {
 	if !o.Active() {

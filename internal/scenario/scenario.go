@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/linkmodel"
 	"repro/internal/network"
 	"repro/internal/policy"
@@ -65,7 +66,35 @@ type System struct {
 	Predictor    string  `json:"predictor"`    // "sliding" (default) or "ewma"
 	EWMAAlpha    float64 `json:"ewmaAlpha"`
 
+	// Shards is the parallel-simulation shard count (0/1 = sequential;
+	// otherwise must divide MeshW). Output is byte-identical either way.
+	Shards int `json:"shards"`
+
 	Seed uint64 `json:"seed"`
+}
+
+// Fault is the JSON-facing fault-injection description. The zero value
+// injects nothing; enabling any class also wires the link-level
+// retransmission protocol (at its defaults).
+type Fault struct {
+	// BERScale multiplies each link's margin-derived bit error rate.
+	BERScale float64 `json:"berScale"`
+	// BERFloor is a minimum per-bit error rate on every link.
+	BERFloor float64 `json:"berFloor"`
+	// RelockFailProb is the CDR relock failure probability on rate switches.
+	RelockFailProb float64 `json:"relockFailProb"`
+	// LinkFailures schedules hard failure/repair windows.
+	LinkFailures []LinkFailure `json:"linkFailures"`
+	// Recovery enables fault-aware routing, the escape network, and the
+	// stall watchdog (at their defaults).
+	Recovery bool `json:"recovery"`
+}
+
+// LinkFailure is one scheduled hard link failure window.
+type LinkFailure struct {
+	Link     int   `json:"link"`
+	At       int64 `json:"at"`
+	RepairAt int64 `json:"repairAt"`
 }
 
 // Workload is the JSON-facing workload description.
@@ -107,6 +136,7 @@ type Run struct {
 type Scenario struct {
 	System   System   `json:"system"`
 	Workload Workload `json:"workload"`
+	Fault    Fault    `json:"fault"`
 	Run      Run      `json:"run"`
 }
 
@@ -214,7 +244,40 @@ func (s *Scenario) NetworkConfig() (network.Config, error) {
 	default:
 		return cfg, fmt.Errorf("scenario: unknown predictor %q", sys.Predictor)
 	}
+
+	cfg.Shards = sys.Shards
+	ft := s.Fault
+	cfg.Fault.BERScale = ft.BERScale
+	cfg.Fault.BERFloor = ft.BERFloor
+	cfg.Fault.RelockFailProb = ft.RelockFailProb
+	for _, lf := range ft.LinkFailures {
+		cfg.Fault.LinkFailures = append(cfg.Fault.LinkFailures, fault.LinkFailure{
+			Link: lf.Link, At: sim.Cycle(lf.At), RepairAt: sim.Cycle(lf.RepairAt),
+		})
+	}
+	if ft.Recovery {
+		cfg.Recovery = network.RecoveryConfig{Enabled: true}
+	}
 	return cfg, cfg.Validate()
+}
+
+// NewSystem resolves the scenario into a runnable system plus its warmup
+// and measure windows — the building blocks Execute assembles, exposed so a
+// checkpointing supervisor can drive the run in resumable slices.
+func (s *Scenario) NewSystem() (*core.System, sim.Cycle, sim.Cycle, error) {
+	cfg, err := s.NetworkConfig()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	gen, err := s.Generator(cfg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sys, err := core.NewSystem(cfg, gen)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return sys, sim.Cycle(s.Run.Warmup), sim.Cycle(defaulted(s.Run.Measure, 100_000)), nil
 }
 
 // Generator resolves the workload section against the system config.

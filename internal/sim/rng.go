@@ -68,6 +68,30 @@ func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// RNGState is the exportable state of an RNG: the raw xorshift128+ words.
+// It exists so checkpoints can persist and restore every stream mid-run;
+// nothing outside checkpointing should touch it (optolint enforces this).
+type RNGState struct {
+	S0, S1 uint64
+}
+
+// State returns the generator's current internal state. The next draw after
+// SetState(State()) is identical to the next draw without the round-trip.
+func (r *RNG) State() RNGState {
+	return RNGState{S0: r.s0, S1: r.s1}
+}
+
+// SetState overwrites the generator state. An all-zero state — which the
+// xorshift128+ recurrence can never leave and which only a corrupted or
+// forged checkpoint can contain — is normalized to a valid fixed state
+// rather than wedging the generator at zero forever.
+func (r *RNG) SetState(st RNGState) {
+	if st.S0 == 0 && st.S1 == 0 {
+		st.S1 = 1
+	}
+	r.s0, r.s1 = st.S0, st.S1
+}
+
 // Stream identifiers for the simulator's top-level derived RNG streams.
 // Every stochastic subsystem draws from its own stream derived from the one
 // scenario seed, so enabling one subsystem (e.g. fault injection) never

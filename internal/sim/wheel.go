@@ -18,6 +18,13 @@ type Entry struct {
 	Key uint64
 	Seq uint64
 	Ev  Event
+
+	// ID names the handler behind Ev for checkpointing: closures cannot be
+	// serialized, so every event scheduled by the network engine carries a
+	// stable descriptor (see network handler registry) that a restore
+	// resolves back to the rebuilt closure. ID 0 means "not snapshotable";
+	// ExportState refuses wheels containing such entries.
+	ID uint64
 }
 
 // Wheel is a timing wheel for near-future events with a heap overflow for
@@ -79,6 +86,18 @@ func (w *Wheel) Schedule(at Cycle, ev Event) {
 // wheel — which the sharded engine makes deterministic by draining staged
 // schedules in shard order.
 func (w *Wheel) ScheduleKeyed(at Cycle, key uint64, ev Event) {
+	w.ScheduleKeyedID(at, key, 0, ev)
+}
+
+// ScheduleID registers ev under key 0 with a checkpoint handler descriptor.
+func (w *Wheel) ScheduleID(at Cycle, id uint64, ev Event) {
+	w.ScheduleKeyedID(at, 0, id, ev)
+}
+
+// ScheduleKeyedID is ScheduleKeyed plus a handler descriptor id recorded in
+// the entry, allowing the wheel's contents to be exported to a checkpoint
+// and resolved back to events on restore.
+func (w *Wheel) ScheduleKeyedID(at Cycle, key, id uint64, ev Event) {
 	if w.advancing {
 		if at < w.now {
 			at = w.now
@@ -89,11 +108,11 @@ func (w *Wheel) ScheduleKeyed(at Cycle, key uint64, ev Event) {
 	w.pending++
 	w.seq++
 	if at-w.now >= w.horizon {
-		heap.Push(&w.far, farEvent{at: at, key: key, seq: w.seq, ev: ev})
+		heap.Push(&w.far, farEvent{at: at, key: key, seq: w.seq, id: id, ev: ev})
 		return
 	}
 	idx := at & w.mask
-	w.buckets[idx] = append(w.buckets[idx], Entry{Key: key, Seq: w.seq, Ev: ev})
+	w.buckets[idx] = append(w.buckets[idx], Entry{Key: key, Seq: w.seq, ID: id, Ev: ev})
 	w.occ[idx>>6] |= 1 << (uint(idx) & 63)
 }
 
@@ -153,7 +172,7 @@ func (w *Wheel) BeginCycle(now Cycle) []Entry {
 	for len(w.far) > 0 && w.far[0].at <= now {
 		fe := heap.Pop(&w.far).(farEvent)
 		w.pending--
-		w.run = append(w.run, Entry{Key: fe.key, Seq: fe.seq, Ev: fe.ev})
+		w.run = append(w.run, Entry{Key: fe.key, Seq: fe.seq, ID: fe.id, Ev: fe.ev})
 	}
 	idx := now & w.mask
 	b := w.buckets[idx]
@@ -252,6 +271,7 @@ type farEvent struct {
 	at  Cycle
 	key uint64
 	seq uint64
+	id  uint64
 	ev  Event
 }
 

@@ -1,0 +1,20 @@
+package stats
+
+// HistogramState is the serializable form of a Histogram.
+type HistogramState struct {
+	Counts []int64
+	Total  int64
+}
+
+// ExportState captures the histogram's buckets.
+func (h *Histogram) ExportState() HistogramState {
+	st := HistogramState{Counts: make([]int64, len(h.counts)), Total: h.total}
+	copy(st.Counts, h.counts)
+	return st
+}
+
+// RestoreState overwrites the histogram from a snapshot.
+func (h *Histogram) RestoreState(st HistogramState) {
+	h.counts = append(h.counts[:0], st.Counts...)
+	h.total = st.Total
+}

@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/sim"
 )
 
@@ -134,6 +134,9 @@ func ParseFlightDump(b []byte) (reason string, at sim.Cycle, events []Event, err
 	return d.Reason, sim.Cycle(d.At), d.Events, nil
 }
 
-// createFile opens path for writing (truncating); split out so the
-// automatic dump path is the only place telemetry touches the filesystem.
-func createFile(path string) (*os.File, error) { return os.Create(path) }
+// createFile opens path for an atomic write (staged in a temp file,
+// renamed into place on Close); split out so the automatic dump path is
+// the only place telemetry touches the filesystem. Atomicity matters here:
+// dumps fire at the exact moments — escalations, kills — when the process
+// is likeliest to die mid-write, and a torn dump would defeat its purpose.
+func createFile(path string) (io.WriteCloser, error) { return atomicio.Create(path) }

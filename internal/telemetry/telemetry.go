@@ -162,6 +162,14 @@ type Registry struct {
 
 	samplerArmed bool
 	sampleEvt    sim.Event
+	samplerWrap  sim.Event // stable arm() wrapper, resolvable on restore
+
+	// markers retains every ScheduleMarker wrapper in registration order;
+	// the ordinal is the marker's checkpoint handler descriptor, so a
+	// restored wheel can resolve marker entries back to their closures.
+	// Registration order is deterministic (markers are scheduled during
+	// network construction from the fault schedule).
+	markers []sim.Event
 	// pending counts registry-owned wheel events (the sampler plus any
 	// scheduled flight-recorder markers) not yet fired. The network's
 	// quiescence check subtracts it: telemetry only observes, so its
@@ -191,6 +199,10 @@ func NewRegistry(cfg Config, w *sim.Wheel) *Registry {
 		r.pending--
 		r.sampleAll(now)
 		r.arm(now)
+	}
+	r.samplerWrap = func(at sim.Cycle) {
+		r.samplerArmed = false
+		r.sampleEvt(at)
 	}
 	return r
 }
@@ -242,10 +254,7 @@ func (r *Registry) arm(now sim.Cycle) {
 	}
 	r.samplerArmed = true
 	r.pending++
-	r.wheel.Schedule(now+r.cfg.SampleEvery, func(at sim.Cycle) {
-		r.samplerArmed = false
-		r.sampleEvt(at)
-	})
+	r.wheel.ScheduleID(now+r.cfg.SampleEvery, sim.HandlerID(sim.HTelemSample, 0, 0), r.samplerWrap)
 }
 
 func (r *Registry) sampleAll(now sim.Cycle) {
@@ -270,10 +279,29 @@ func (r *Registry) PendingEvents() int { return r.pending }
 // (e.g. scheduled fault windows).
 func (r *Registry) ScheduleMarker(at sim.Cycle, fn sim.Event) {
 	r.pending++
-	r.wheel.Schedule(at, func(now sim.Cycle) {
+	wrap := func(now sim.Cycle) {
 		r.pending--
 		fn(now)
-	})
+	}
+	ordinal := uint32(len(r.markers))
+	r.markers = append(r.markers, wrap)
+	r.wheel.ScheduleID(at, sim.HandlerID(sim.HTelemMarker, ordinal, 0), wrap)
+}
+
+// ResolveHandler maps a checkpoint handler descriptor owned by the registry
+// (sampler tick, scheduled marker) back to its event closure. Marker
+// ordinals refer to registration order, which is deterministic per
+// configuration.
+func (r *Registry) ResolveHandler(id uint64) (sim.Event, bool) {
+	switch sim.HandlerKind(id) {
+	case sim.HTelemSample:
+		return r.samplerWrap, true
+	case sim.HTelemMarker:
+		if ord := int(sim.HandlerObj(id)); ord < len(r.markers) {
+			return r.markers[ord], true
+		}
+	}
+	return nil, false
 }
 
 // Record appends a discrete event to the flight recorder.
