@@ -11,6 +11,7 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -166,6 +167,14 @@ func writeSummary(outPath, scPath string, sc *scenario.Scenario, sys *core.Syste
 	if cfg.Recovery.Enabled {
 		rec := n.RecoveryStats()
 		sum.Recovery = &rec
+	}
+	if ps := n.PolicyStats(); ps.Windows > 0 {
+		if tr := n.PolicyTrace(); tr != nil {
+			if o, err := policy.ComputeOracle(*tr, n.ControlledLinkModels()); err == nil {
+				ps.SetOracle(o.EnergyJ)
+			}
+		}
+		sum.Policy = &ps
 	}
 	if cfg.Telemetry.Enabled {
 		d := n.Telemetry().Digest()

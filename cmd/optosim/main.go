@@ -11,7 +11,10 @@
 //
 // Experiments: table2, fig5window, fig5threshold, fig5g, fig5h, fig6,
 // fig7, table3, table3-nodefixed, throughput, patterns, faults, reroute,
-// and the ablations ablation-{lu,n,bu,levels,onoff,predictor,routing}.
+// policies, and the ablations ablation-{lu,n,bu,levels,onoff,predictor,
+// routing}. With -policy, every harness swaps the paper's DVS controller
+// for the named adaptive policy; the policies experiment runs them
+// head-to-head with regret against an offline oracle.
 // With -svg DIR, the figure-shaped experiments also write SVG charts. The
 // faults experiment takes the -fault.* flags to parameterise the injector;
 // reroute studies the power knock-on of fault-aware routing around a
@@ -34,6 +37,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -236,6 +240,16 @@ func registry() map[string]runner {
 				summaries: []report.Summary{sum},
 			}, exportTelemetry(reg)
 		},
+		"policies": func(s experiments.Scale) (output, error) {
+			rows, err := experiments.PolicyStudy(s)
+			if err != nil {
+				return output{}, err
+			}
+			return output{
+				tables:    []*report.Table{experiments.PolicyStudyReport(rows)},
+				summaries: experiments.PolicySummaries(s.Seed, rows),
+			}, nil
+		},
 		"throughput": func(s experiments.Scale) (output, error) {
 			rs, err := experiments.Throughput(s)
 			if err != nil {
@@ -263,6 +277,7 @@ func main() {
 	svgDir := flag.String("svg", "", "also write figure charts as SVG files into this directory")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	shards := flag.Int("shards", 0, "parallel-core shard count; must divide the mesh width (0 = sequential, results identical)")
+	policyKind := flag.String("policy", "", "adaptive link policy for every harness: dvs (default), rules, or pid; the policies experiment also accepts it as a column filter")
 	list := flag.Bool("list", false, "list available experiments")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: optosim [-full] [-csv] [-seed N] <experiment>...|all\n")
@@ -298,6 +313,11 @@ func main() {
 	}
 	scale.Seed = *seed
 	scale.Shards = *shards
+	if _, err := policy.ParseKind(*policyKind); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	scale.Policy = *policyKind
 
 	if !*jsonOut {
 		// Fig 7 depends on trace synthesis; mention the substitution once.

@@ -31,8 +31,9 @@ const Magic = "OPTOCKPT"
 
 // Version is the current format version. Load rejects any other version:
 // checkpoints are process-lifetime artifacts, not archival data, so there
-// is no cross-version migration.
-const Version uint32 = 1
+// is no cross-version migration. Version 2: controller state became the
+// kind-tagged policy union and the snapshot may carry an oracle trace.
+const Version uint32 = 2
 
 // headerLen is the fixed prefix: magic(8) + version(4) + cycle(8) +
 // payload length(8) + payload CRC(4).

@@ -10,6 +10,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/fault"
 	"repro/internal/network"
+	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
@@ -79,6 +80,16 @@ func finish(t *testing.T, n *network.Network, gen *traffic.Stoppable, seed uint6
 	}
 	rel := n.FaultStats()
 	rec := n.RecoveryStats()
+	ps := n.PolicyStats()
+	if tr := n.PolicyTrace(); tr != nil {
+		// The resumed run must reconstruct the same recorded trace, so the
+		// oracle energy and regret are part of the compared bytes.
+		o, err := policy.ComputeOracle(*tr, n.ControlledLinkModels())
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		ps.SetOracle(o.EnergyJ)
+	}
 	d := n.Telemetry().Digest()
 	sum := report.Summary{
 		Experiment:     "checkpoint-resume-equivalence",
@@ -92,6 +103,7 @@ func finish(t *testing.T, n *network.Network, gen *traffic.Stoppable, seed uint6
 		TimeAtLevel:    n.TimeAtLevelHistogram(),
 		Reliability:    &rel,
 		Recovery:       &rec,
+		Policy:         &ps,
 		Telemetry:      &d,
 	}
 	js, err := sum.JSON()

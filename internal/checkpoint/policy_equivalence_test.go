@@ -1,0 +1,79 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/policy"
+	"repro/internal/traffic"
+)
+
+// The checkpoint invariant extended to the pluggable policy engine: every
+// policy kind's mutable state (rule-engine hysteresis and armed hold
+// timers, PID integrator, replay cursor) and the in-flight oracle trace
+// must survive the on-disk snapshot format — a resumed run's summary,
+// including the per-run regret computed from its reconstructed trace, is
+// byte-identical to the uninterrupted run at every shard count.
+
+// policyCkptConfig is the hardest resume configuration (faults + recovery,
+// snapshot inside the link-failure window) with the given kind selected and
+// the trace recorder on, so TraceState travels through the checkpoint too.
+func policyCkptConfig(kind policy.Kind) network.Config {
+	cfg := ckptConfig(network.RoutingXY, true, true)
+	cfg.Policy.Kind = kind
+	cfg.Policy.RecordTrace = true
+	return cfg
+}
+
+// ckptDVSOracle records a sequential DVS run of the same configuration and
+// returns the schedule the replay kind executes.
+func ckptDVSOracle(t *testing.T) *policy.Oracle {
+	t.Helper()
+	cfg := policyCkptConfig(policy.KindDVS)
+	gen := traffic.NewStoppable(traffic.NewUniform(cfg.Nodes(), 0.3, 5))
+	n := network.MustNew(cfg, gen)
+	defer n.Close()
+	n.RunTo(ckptRunTo)
+	gen.Stop()
+	if !n.RunUntilQuiescent(400_000) {
+		t.Fatal("oracle recording run did not drain")
+	}
+	tr := n.PolicyTrace()
+	if tr == nil {
+		t.Fatal("recording run produced no trace")
+	}
+	o, err := policy.ComputeOracle(*tr, n.ControlledLinkModels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &o
+}
+
+func TestPolicyCheckpointResumeEquivalence(t *testing.T) {
+	var oracle *policy.Oracle
+	for _, kind := range []policy.Kind{policy.KindRules, policy.KindPID, policy.KindOracleReplay} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := policyCkptConfig(kind)
+			if kind == policy.KindOracleReplay {
+				if oracle == nil {
+					oracle = ckptDVSOracle(t)
+				}
+				cfg.Policy.Oracle = oracle
+			}
+			for _, k := range ckptShardCounts() {
+				t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+					baseJS, baseDump := runUninterrupted(t, cfg, k)
+					js, dump := runResumed(t, cfg, k)
+					if !bytes.Equal(js, baseJS) {
+						t.Errorf("resumed summary diverges from uninterrupted run:\n--- uninterrupted\n%s\n--- resumed\n%s", baseJS, js)
+					}
+					if dump != baseDump {
+						t.Errorf("resumed flight-recorder output diverges from uninterrupted run")
+					}
+				})
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"repro/internal/network"
+	"repro/internal/policy"
 	"repro/internal/sim"
 )
 
@@ -40,6 +41,10 @@ type Scale struct {
 	// byte-identical across shard counts (DESIGN.md §6g), so this is
 	// purely a wall-clock knob.
 	Shards int
+	// Policy selects the adaptive link policy every harness runs with
+	// ("" or "dvs" = the paper's controller; "rules", "pid"). The policy
+	// study additionally accepts it as a column filter.
+	Policy string
 }
 
 // FullScale reproduces the paper's sweeps at full length.
@@ -79,5 +84,12 @@ func (s Scale) baseConfig() network.Config {
 	cfg := network.DefaultConfig()
 	cfg.Seed = s.Seed
 	cfg.Shards = s.Shards
+	if s.Policy != "" {
+		// Invalid spellings surface from each harness's network build via
+		// Config.Validate; ParseKind errors cannot be returned from here.
+		if k, err := policy.ParseKind(s.Policy); err == nil {
+			cfg.Policy.Kind = k
+		}
+	}
 	return cfg
 }

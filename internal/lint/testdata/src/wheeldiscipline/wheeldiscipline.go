@@ -71,3 +71,44 @@ func (r *router) badClosure(now int) func() {
 		r.p.busyUntilMC = now + 8 // want "wheeldiscipline: future-cycle deadline write without a wheel Schedule"
 	}
 }
+
+// The policy-timer idiom: a hold/backoff deadline must reach the wheel
+// through the TimerSink's Arm helper, or fast-forward will hop over the
+// release instant.
+
+type timerSink struct {
+	w *wheel
+}
+
+func (t *timerSink) ArmPolicyTimer(at int, ordinal int) { t.w.Schedule(at, func() {}) }
+
+type policyEngine struct {
+	sink      *timerSink
+	timerAt   int
+	holdUntil int
+}
+
+// Good: the hold deadline is armed through the exported Arm* sink method.
+func (p *policyEngine) goodPolicyHold(now int) {
+	p.timerAt = now + 4000
+	p.sink.ArmPolicyTimer(now+4000, 0)
+}
+
+// Good: the arm helper computes and stores the deadline itself; callers
+// stay clean because the pairing lives in one place.
+func (p *policyEngine) armHold(now, hold int) {
+	at := now + hold
+	p.timerAt = at
+	p.sink.ArmPolicyTimer(at, 0)
+}
+
+// Bad: the hold deadline is only stored for the next Tick to poll — the
+// wheel never hears about it, so idle-gap skipping misses the release.
+func (p *policyEngine) badPolicyHold(now int) {
+	p.holdUntil = now + 4000 // want "wheeldiscipline: future-cycle deadline write without a wheel Schedule"
+}
+
+// Bad: re-arming by pushing the stored deadline out without a fresh timer.
+func (p *policyEngine) badPolicyExtend() {
+	p.timerAt += 4000 // want "wheeldiscipline: future-cycle deadline write without a wheel Schedule"
+}

@@ -127,7 +127,9 @@ func checkFuncScope(pass *Pass, body *ast.BlockStmt, schedulers map[string]bool)
 }
 
 func isArmHelper(name string) bool {
-	return len(name) > 3 && name[:3] == "arm"
+	// Both spellings: unexported helpers (armPump, armHold) and exported
+	// sink methods (TimerSink.ArmPolicyTimer).
+	return len(name) > 3 && (name[:3] == "arm" || name[:3] == "Arm")
 }
 
 // deadlineWrite reports whether as assigns a computed future cycle to a

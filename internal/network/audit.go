@@ -86,13 +86,18 @@ func (n *Network) audit() error {
 			// conservatively; the upper bound (no credit re-materialises,
 			// no flit delivered twice) stays exact.
 			// The reliable receive path holds accepted flits for one cycle
-			// in the rx pipeline register; those widen the bracket too.
-			slack := 3 + up.Channel().OutstandingFlits() + up.Channel().RxPending()
+			// in the rx pipeline register; those widen the bracket too,
+			// as do credit returns already scheduled but not yet
+			// delivered (a killed packet's discard puts one per flit in
+			// flight at once, so the per-VC count is exact, not a
+			// constant).
+			slack := 2 + up.Channel().OutstandingFlits() + up.Channel().RxPending()
 			for v := 0; v < cfg.VCs; v++ {
+				vcSlack := slack + down.CreditsInFlight(cfg.meshPort(h[1]), v)
 				sum := up.Credits(v) + down.InputBuffer(cfg.meshPort(h[1]), v).Len()
-				if sum > cfg.BufDepth || sum < cfg.BufDepth-slack {
+				if sum > cfg.BufDepth || sum < cfg.BufDepth-vcSlack {
 					return fmt.Errorf("network: link router %d dir %d vc %d: credits+occupancy = %d, want within [%d,%d]",
-						r, h[0], v, sum, cfg.BufDepth-slack, cfg.BufDepth)
+						r, h[0], v, sum, cfg.BufDepth-vcSlack, cfg.BufDepth)
 				}
 			}
 			idx++

@@ -26,7 +26,13 @@ type Network struct {
 	routers     []*router.Router
 	nics        []*NIC
 	channels    []*router.Channel
-	controllers []*policy.Controller
+	controllers []policy.LinkPolicy
+	// ctrlChans is the channel behind each controller (same order), for
+	// the policy-level energy/trace accessors.
+	ctrlChans []*router.Channel
+	// policyRec records the per-window demand/margin trace for the regret
+	// oracle, nil unless cfg.Policy.RecordTrace.
+	policyRec *policy.Recorder
 
 	// Sharded core (DESIGN.md §6g). Even a single-shard network runs
 	// through shard 0 — the canonical engine is the only engine, so the
@@ -197,11 +203,18 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 			capSum += b.Cap()
 		}
 		src := &utilSource{ch: ch, bufs: bufs, capSum: capSum}
-		pc, err := policy.NewController(cfg.Policy, pl, src)
+		pc, err := policy.New(cfg.Policy, policy.Deps{
+			Link:    pl,
+			Util:    src,
+			Loss:    src,
+			Timers:  n,
+			Ordinal: len(n.controllers),
+		})
 		if err != nil {
 			return err
 		}
 		n.controllers = append(n.controllers, pc)
+		n.ctrlChans = append(n.ctrlChans, ch)
 		return nil
 	}
 
@@ -316,6 +329,9 @@ func New(cfg Config, gen traffic.Generator) (*Network, error) {
 	n.nextPolicyTick = neverCycle
 	if len(n.controllers) > 0 {
 		n.nextPolicyTick = cfg.Policy.Window
+		if cfg.Policy.RecordTrace {
+			n.policyRec = policy.NewRecorder(cfg.Policy.Window, len(n.controllers))
+		}
 	}
 
 	// Fault injection + link-level reliability. The injector draws from
@@ -579,8 +595,15 @@ func (n *Network) Step() {
 	// every escalation exactly one barrier after the shard recorded it.
 	n.drainDownNotes(now)
 
-	// 5. Policy windows.
+	// 5. Policy windows. The trace recorder observes first — the window's
+	// demand and margin ceiling as the policy itself saw them, before any
+	// tick-driven level change moves the margin.
 	if now == n.nextPolicyTick {
+		if n.policyRec != nil {
+			for i, c := range n.controllers {
+				n.policyRec.Observe(i, n.ctrlChans[i].Flits(), n.maxSafeLevel(now, c.Link()))
+			}
+		}
 		for _, c := range n.controllers {
 			c.Tick(now)
 		}
@@ -1007,7 +1030,96 @@ func (n *Network) DownLinks() int {
 func (n *Network) Routers() []*router.Router { return n.routers }
 
 // Controllers exposes the policy controllers (empty when !PowerAware).
-func (n *Network) Controllers() []*policy.Controller { return n.controllers }
+func (n *Network) Controllers() []policy.LinkPolicy { return n.controllers }
+
+// ArmPolicyTimer implements policy.TimerSink: a coordinator-band wheel
+// event that fires the controller's OnTimer hook at `at`. Being a real
+// wheel entry keeps fast-forward honest about the pending wake, and the
+// handler descriptor lets checkpoints rebuild the closure on restore.
+func (n *Network) ArmPolicyTimer(at sim.Cycle, ordinal int) {
+	n.wheel.ScheduleID(at, sim.HandlerID(sim.HPolicyTimer, uint32(ordinal), 0), n.policyTimerEvt(ordinal))
+}
+
+// policyTimerEvt builds the wheel closure behind an HPolicyTimer
+// descriptor (also used by snapshot restore).
+func (n *Network) policyTimerEvt(ordinal int) sim.Event {
+	return func(now sim.Cycle) {
+		if tp, ok := n.controllers[ordinal].(policy.TimerPolicy); ok {
+			tp.OnTimer(now)
+		}
+	}
+}
+
+// maxSafeLevel returns the highest electrical level whose margin-projected
+// BER is within the policy's MaxBER at now: -1 when no level qualifies,
+// the ladder top when the guard is disabled (MaxBER <= 0).
+func (n *Network) maxSafeLevel(now sim.Cycle, pl *powerlink.Link) int {
+	nl := pl.NumLevels()
+	if n.cfg.Policy.MaxBER <= 0 {
+		return nl - 1
+	}
+	for lv := nl - 1; lv >= 0; lv-- {
+		if pl.ProjectedBER(now, lv) <= n.cfg.Policy.MaxBER {
+			return lv
+		}
+	}
+	return -1
+}
+
+// PolicyStats aggregates every controller's counters into one report block
+// (zero value when the network runs without power awareness).
+func (n *Network) PolicyStats() stats.Policy {
+	var p stats.Policy
+	if len(n.controllers) == 0 {
+		return p
+	}
+	p.Kind = n.cfg.Policy.Kind.String()
+	for _, c := range n.controllers {
+		s := c.Stats()
+		p.Windows += s.Windows
+		p.Ups += s.Ups
+		p.Downs += s.Downs
+		p.Holds += s.Holds
+		p.Rejected += s.Rejected
+		p.Guarded += s.Guarded
+		p.PdecCount += s.PdecCount
+		p.LossDerates += s.LossDerates
+		p.StormBackoffs += s.StormBackoffs
+		p.GradualUps += s.GradualUps
+	}
+	p.EnergyJ = n.ControlledLinkEnergyJ()
+	return p
+}
+
+// ControlledLinkEnergyJ returns the energy consumed by policy-controlled
+// links only — the quantity the regret oracle bounds.
+func (n *Network) ControlledLinkEnergyJ() float64 {
+	var e float64
+	for _, ch := range n.ctrlChans {
+		e += ch.PLink().EnergyJ(n.now)
+	}
+	return e
+}
+
+// PolicyTrace returns the per-window demand/margin recording, or nil when
+// Config.Policy.RecordTrace was off.
+func (n *Network) PolicyTrace() *policy.Trace {
+	if n.policyRec == nil {
+		return nil
+	}
+	tr := n.policyRec.Trace()
+	return &tr
+}
+
+// ControlledLinkModels returns the oracle's per-level cost/capacity view of
+// every controlled link, in controller order.
+func (n *Network) ControlledLinkModels() []policy.LinkModel {
+	out := make([]policy.LinkModel, len(n.controllers))
+	for i, c := range n.controllers {
+		out[i] = c.Link()
+	}
+	return out
+}
 
 // NICQueueLen returns the number of packets waiting at node's NIC
 // (including the one being serialised).
@@ -1096,6 +1208,17 @@ func (u *utilSource) BufferOccupancyIntegral(now sim.Cycle) float64 {
 }
 
 func (u *utilSource) BufferCapacity() int { return u.capSum }
+
+// The loss-sensor half of the adapter (policy.LossSource): cumulative
+// reliability counters the rule engine differences across windows.
+
+func (u *utilSource) Retransmits() int64 { return u.ch.RelStats().Retransmits }
+
+func (u *utilSource) CrcDrops() int64 { return u.ch.RelStats().Corrupted }
+
+func (u *utilSource) Escalations() int64 { return u.ch.RelStats().Escalations }
+
+func (u *utilSource) RelockFailures(now sim.Cycle) int64 { return u.ch.PLink().RelockFailures(now) }
 
 // injEvent is one pending source injection.
 type injEvent struct {

@@ -99,8 +99,23 @@ type shard struct {
 func (s *shard) Schedule(at sim.Cycle, key, id uint64, ev sim.Event) {
 	if sim.Debug {
 		sim.Assertf(key != 0, "shard %d: scheduling into the coordinator band (key 0)", s.idx)
-		sim.Assertf(s.n.shardOfActor(sim.KeyOwner(key)) == s.idx,
-			"shard %d: scheduling key %#x owned by shard %d", s.idx, key, s.n.shardOfActor(sim.KeyOwner(key)))
+		// Determinism requires each ordering key to be *produced* by exactly
+		// one shard — identified by the key's src field, not its owner. The
+		// owner (the actor whose window runs the event) is legitimately on
+		// another shard: a boundary channel's delivery key is owned by the
+		// downstream router but staged by the upstream shard driving the
+		// channel, and a credit-return key is owned by the upstream router
+		// but staged by the downstream one.
+		src := uint32(key) & sim.MaxActor
+		base := s.n.chanSrc(0)
+		if src >= base {
+			li := int(src - base)
+			sim.Assertf(li < len(s.n.chanOwner) && s.n.chanOwner[li] == s,
+				"shard %d: scheduling key %#x produced by link %d's owning shard", s.idx, key, li)
+		} else {
+			sim.Assertf(s.n.shardOfActor(src) == s.idx,
+				"shard %d: scheduling key %#x produced by shard %d", s.idx, key, s.n.shardOfActor(src))
+		}
 	}
 	s.staged = append(s.staged, stagedEv{at: at, key: key, id: id, ev: ev})
 }

@@ -108,7 +108,10 @@ type State struct {
 	Routers     []router.RouterState
 	Channels    []router.ChannelState
 	Links       []powerlink.State
-	Controllers []policy.ControllerState
+	Controllers []policy.PolicyState
+	// PolicyTrace is the regret recorder's accumulated trace, nil unless
+	// the run records one.
+	PolicyTrace *policy.TraceState
 	NICs        []NICState
 	Shards      []ShardState
 
@@ -154,7 +157,11 @@ func (n *Network) ExportState() (*State, error) {
 		st.Links = append(st.Links, ch.PLink().ExportState())
 	}
 	for _, c := range n.controllers {
-		st.Controllers = append(st.Controllers, c.ExportState())
+		st.Controllers = append(st.Controllers, c.ExportPolicy())
+	}
+	if n.policyRec != nil {
+		ts := n.policyRec.ExportState()
+		st.PolicyTrace = &ts
 	}
 	for _, nc := range n.nics {
 		ns := NICState{
@@ -300,6 +307,10 @@ func (n *Network) resolveHandler(id uint64) (sim.Event, bool) {
 		if n.telem != nil {
 			return n.telem.ResolveHandler(id)
 		}
+	case sim.HPolicyTimer:
+		if obj < len(n.controllers) {
+			return n.policyTimerEvt(obj), true
+		}
 	}
 	return nil, false
 }
@@ -323,6 +334,9 @@ func (n *Network) RestoreState(st *State) error {
 	}
 	if (st.Telemetry != nil) != (n.telem != nil) {
 		return fmt.Errorf("network: snapshot telemetry %v, network %v", st.Telemetry != nil, n.telem != nil)
+	}
+	if (st.PolicyTrace != nil) != (n.policyRec != nil) {
+		return fmt.Errorf("network: snapshot trace recording %v, network %v", st.PolicyTrace != nil, n.policyRec != nil)
 	}
 	if (len(st.NodeRNGs) > 0) != (n.rngs != nil) || len(st.NodeRNGs) > 0 && len(st.NodeRNGs) != len(n.rngs) {
 		return fmt.Errorf("network: snapshot has %d node RNGs, network has %d", len(st.NodeRNGs), len(n.rngs))
@@ -366,8 +380,13 @@ func (n *Network) RestoreState(st *State) error {
 		}
 	}
 	for i, c := range n.controllers {
-		if err := c.RestoreState(st.Controllers[i]); err != nil {
+		if err := c.RestorePolicy(st.Controllers[i]); err != nil {
 			return fmt.Errorf("controller %d: %w", i, err)
+		}
+	}
+	if st.PolicyTrace != nil {
+		if err := n.policyRec.RestoreState(*st.PolicyTrace); err != nil {
+			return err
 		}
 	}
 	for i, nc := range n.nics {

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/policy"
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -79,6 +80,21 @@ func (n *Network) initTelemetry() {
 	// for links the policy treats uniformly.
 	for li := range n.meshRef {
 		n.addMeshLinkProbes(li)
+	}
+
+	// Per-policy series, only for the non-default kinds: adding probes
+	// changes the telemetry digest, and DVS runs must stay byte-identical
+	// to their pre-engine baselines.
+	if len(n.controllers) > 0 && n.cfg.Policy.Kind != policy.KindDVS {
+		reg.Gauge("policy.energy_j", func(sim.Cycle) float64 { return n.ControlledLinkEnergyJ() })
+		for i, c := range n.controllers {
+			c := c
+			pre := fmt.Sprintf("policy%d", i)
+			reg.Counter(pre+".loss_derates", func() int64 { return int64(c.Stats().LossDerates) })
+			reg.Counter(pre+".storm_backoffs", func() int64 { return int64(c.Stats().StormBackoffs) })
+			reg.Counter(pre+".gradual_ups", func() int64 { return int64(c.Stats().GradualUps) })
+			reg.Counter(pre+".guarded", func() int64 { return int64(c.Stats().Guarded) })
+		}
 	}
 
 	// Per-router series.

@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/powerlink"
+	"repro/internal/sim"
+)
+
+// This file is the pluggable policy engine: the LinkPolicy interface every
+// control policy implements, the sensor/actuator surfaces the network hands
+// a policy at construction, and the factory that builds one from a Config.
+// The paper's history-window DVS controller (policy.go) is the default
+// implementation; rules.go, pid.go, and oracle.go add the self-adaptive
+// family of ROADMAP item 4.
+
+// Kind selects a link-policy implementation.
+type Kind int
+
+const (
+	// KindDVS is the paper's §3.3 history-window DVS controller — the zero
+	// value, so every pre-existing Config keeps its exact behaviour.
+	KindDVS Kind = iota
+	// KindRules is the PROTEUS-style loss-aware hysteresis rule engine: it
+	// trades bit rate down under measured loss, backs off to a safe level
+	// during relock storms, and recovers gradually when margin returns.
+	KindRules
+	// KindPID is a PID-style utilisation tracker around a setpoint.
+	KindPID
+	// KindOracleReplay replays a precomputed offline-optimal per-window
+	// level schedule (see ComputeOracle); the regret baseline.
+	KindOracleReplay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDVS:
+		return "dvs"
+	case KindRules:
+		return "rules"
+	case KindPID:
+		return "pid"
+	case KindOracleReplay:
+		return "oracle-replay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps the CLI/scenario spelling of a policy kind to its value.
+// The empty string is KindDVS (the historical default).
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "", "dvs":
+		return KindDVS, nil
+	case "rules":
+		return KindRules, nil
+	case "pid":
+		return KindPID, nil
+	case "oracle-replay", "oracle":
+		return KindOracleReplay, nil
+	default:
+		return KindDVS, fmt.Errorf("policy: unknown kind %q (want dvs, rules, pid, or oracle-replay)", s)
+	}
+}
+
+// LossSource is the rule engine's sensor view of one link's reliability
+// counters: the retransmission layer's cumulative activity plus the link's
+// CDR relock failures. All counters are monotonically non-decreasing; the
+// policy differences them across windows. Implemented by the network's
+// channel adapter; nil for policies that do not observe loss.
+type LossSource interface {
+	// Retransmits returns cumulative go-back-N replay transmissions.
+	Retransmits() int64
+	// CrcDrops returns cumulative flits the receiver discarded on CRC.
+	CrcDrops() int64
+	// Escalations returns cumulative retry exhaustions (link resets).
+	Escalations() int64
+	// RelockFailures returns cumulative CDR relock failures on this link.
+	RelockFailures(now sim.Cycle) int64
+}
+
+// TimerSink lets a policy arm a future wheel timer in the coordinator band.
+// The network implements it by scheduling an HPolicyTimer-descriptor event
+// that calls the policy's OnTimer — a real wheel event, so fast-forward
+// sees the deadline and checkpoints carry it.
+type TimerSink interface {
+	ArmPolicyTimer(at sim.Cycle, ordinal int)
+}
+
+// TimerPolicy is implemented by policies that arm wheel timers.
+type TimerPolicy interface {
+	// OnTimer delivers a timer armed through the TimerSink. Stale firings
+	// (superseded by a later re-arm) must be ignored.
+	OnTimer(now sim.Cycle)
+}
+
+// LinkPolicy is one link's control policy. Tick is called exactly once per
+// window boundary from the coordinator band, with monotonically increasing
+// time; everything a policy does must be a deterministic function of its
+// sensors at tick (and timer) instants, so sharding and fast-forward cannot
+// change its behaviour.
+type LinkPolicy interface {
+	// Tick evaluates the policy at a window boundary and applies its
+	// decision to the link.
+	Tick(now sim.Cycle) Decision
+	// Stats returns the policy's activity counters.
+	Stats() Stats
+	// Link returns the controlled link.
+	Link() *powerlink.Link
+	// Kind identifies the implementation.
+	Kind() Kind
+	// ExportPolicy captures the policy's mutable state for a checkpoint.
+	ExportPolicy() PolicyState
+	// RestorePolicy overwrites the policy's mutable state from a snapshot
+	// taken from a same-kind, same-config policy.
+	RestorePolicy(PolicyState) error
+}
+
+// Deps bundles the sensor and actuator surfaces a policy may use. Link and
+// Util are required; Loss and Timers may be nil for policies that do not
+// use them. Ordinal is the policy's index in the network's controller list,
+// used to address wheel timers and oracle schedules.
+type Deps struct {
+	Link    *powerlink.Link
+	Util    UtilizationSource
+	Loss    LossSource
+	Timers  TimerSink
+	Ordinal int
+}
+
+// New builds the link policy selected by cfg.Kind. Zero-valued Rules/PID
+// sub-configs are replaced with their defaults, so selecting a kind without
+// tuning it is always valid.
+func New(cfg Config, d Deps) (LinkPolicy, error) {
+	switch cfg.Kind {
+	case KindDVS:
+		return NewController(cfg, d.Link, d.Util)
+	case KindRules:
+		if cfg.Rules == (RulesConfig{}) {
+			cfg.Rules = DefaultRulesConfig()
+		}
+		return NewRuleEngine(cfg, d)
+	case KindPID:
+		if cfg.PID == (PIDConfig{}) {
+			cfg.PID = DefaultPIDConfig()
+		}
+		return NewPIDTracker(cfg, d)
+	case KindOracleReplay:
+		return NewReplay(cfg, d)
+	default:
+		return nil, fmt.Errorf("policy: unknown kind %d", int(cfg.Kind))
+	}
+}

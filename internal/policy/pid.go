@@ -1,0 +1,166 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/powerlink"
+	"repro/internal/sim"
+)
+
+// The PID-style utilisation tracker: instead of the paper's threshold
+// bands, the link rate is servoed around a utilisation setpoint. The
+// per-window error (measured utilisation minus setpoint) feeds a discrete
+// PID whose control output, once it crosses ±StepThreshold, requests one
+// level step; the integral term is cleared on every step so the next one
+// must be re-earned — a natural pacing that avoids slewing the ladder end
+// to end on a single burst.
+
+// PIDConfig parameterises the PID tracker. The zero value selects
+// DefaultPIDConfig when built through New.
+type PIDConfig struct {
+	// Setpoint is the target link utilisation (0..1).
+	Setpoint float64
+	// Kp, Ki, Kd are the proportional, integral, and derivative gains.
+	Kp, Ki, Kd float64
+	// IntegralClamp bounds the integral accumulator to ±IntegralClamp
+	// (anti-windup).
+	IntegralClamp float64
+	// StepThreshold is the |control| magnitude that triggers a level step.
+	StepThreshold float64
+}
+
+// DefaultPIDConfig returns gains tuned for the paper's Tw = 1000 windows:
+// a sustained ±0.25 utilisation error crosses the step threshold within
+// two windows.
+func DefaultPIDConfig() PIDConfig {
+	return PIDConfig{
+		Setpoint:      0.5,
+		Kp:            2,
+		Ki:            0.5,
+		Kd:            1,
+		IntegralClamp: 3,
+		StepThreshold: 1,
+	}
+}
+
+// Validate reports configuration errors. The zero value is valid (it means
+// "use defaults").
+func (c PIDConfig) Validate() error {
+	if c == (PIDConfig{}) {
+		return nil
+	}
+	if c.Setpoint <= 0 || c.Setpoint >= 1 {
+		return fmt.Errorf("policy: pid setpoint %g outside (0,1)", c.Setpoint)
+	}
+	if c.Kp < 0 || c.Ki < 0 || c.Kd < 0 {
+		return fmt.Errorf("policy: pid gains must be non-negative")
+	}
+	if c.IntegralClamp < 0 || c.StepThreshold <= 0 {
+		return fmt.Errorf("policy: pid clamp/threshold invalid")
+	}
+	return nil
+}
+
+// PIDTracker is the PID utilisation policy for one link.
+type PIDTracker struct {
+	cfg  Config
+	link *powerlink.Link
+	util UtilizationSource
+
+	lastBusy float64
+	integ    float64
+	lastErr  float64
+	primed   bool // lastErr holds a real observation
+
+	stats Stats
+}
+
+// NewPIDTracker builds the PID policy for one link. cfg.PID must be fully
+// populated (New substitutes defaults for the zero value).
+func NewPIDTracker(cfg Config, d Deps) (*PIDTracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &PIDTracker{cfg: cfg, link: d.Link, util: d.Util}, nil
+}
+
+// Link returns the controlled link.
+func (p *PIDTracker) Link() *powerlink.Link { return p.link }
+
+// Kind identifies the PID tracker.
+func (p *PIDTracker) Kind() Kind { return KindPID }
+
+// Stats returns the tracker's activity counters.
+func (p *PIDTracker) Stats() Stats { return p.stats }
+
+// Tick runs one PID update at a window boundary.
+func (p *PIDTracker) Tick(now sim.Cycle) Decision {
+	p.stats.Windows++
+	c := p.cfg.PID
+
+	busy := p.util.BusyCycles()
+	lu := (busy - p.lastBusy) / float64(p.cfg.Window)
+	p.lastBusy = busy
+	if lu > 1 {
+		lu = 1
+	}
+
+	err := lu - c.Setpoint
+	p.integ += err
+	if p.integ > c.IntegralClamp {
+		p.integ = c.IntegralClamp
+	} else if p.integ < -c.IntegralClamp {
+		p.integ = -c.IntegralClamp
+	}
+	deriv := 0.0
+	if p.primed {
+		deriv = err - p.lastErr
+	}
+	p.lastErr = err
+	p.primed = true
+
+	u := c.Kp*err + c.Ki*p.integ + c.Kd*deriv
+
+	decision := Hold
+	switch {
+	case u >= c.StepThreshold:
+		if p.upGuardBlocks(now) {
+			p.stats.Guarded++
+			break
+		}
+		decision = StepUp
+	case u <= -c.StepThreshold:
+		decision = StepDown
+	}
+
+	switch decision {
+	case StepUp:
+		p.stats.Ups++
+		p.integ = 0
+		if !p.link.RequestStep(now, +1) {
+			p.stats.Rejected++
+		}
+	case StepDown:
+		p.stats.Downs++
+		p.integ = 0
+		if !p.link.RequestStep(now, -1) {
+			p.stats.Rejected++
+		}
+	default:
+		p.stats.Holds++
+	}
+	return decision
+}
+
+// upGuardBlocks is the MaxBER guard on the step-up target, mirroring the
+// DVS controller's berGuardBlocks.
+func (p *PIDTracker) upGuardBlocks(now sim.Cycle) bool {
+	if p.cfg.MaxBER <= 0 {
+		return false
+	}
+	lv := p.link.Level(now)
+	if lv < 0 || lv+1 >= p.link.NumLevels() {
+		return false
+	}
+	return p.link.ProjectedBER(now, lv+1) > p.cfg.MaxBER
+}

@@ -164,6 +164,24 @@ type Config struct {
 	// (powerlink.ProjectedBER) exceeds MaxBER is refused and counted in
 	// Stats.Guarded. Zero disables the guard (historical behaviour).
 	MaxBER float64
+
+	// Kind selects the policy implementation (see engine.go). The zero
+	// value is KindDVS: every pre-existing Config behaves exactly as
+	// before the pluggable engine existed.
+	Kind Kind
+	// Rules parameterises the KindRules engine; the zero value selects
+	// DefaultRulesConfig. Ignored by other kinds.
+	Rules RulesConfig
+	// PID parameterises the KindPID tracker; the zero value selects
+	// DefaultPIDConfig. Ignored by other kinds.
+	PID PIDConfig
+	// Oracle supplies the precomputed per-link level schedules replayed by
+	// KindOracleReplay (required for that kind, ignored otherwise).
+	Oracle *Oracle
+	// RecordTrace enables the per-window demand/margin recorder that
+	// ComputeOracle consumes. Recording is observation-only: it never
+	// changes a run's behaviour.
+	RecordTrace bool
 }
 
 // Predictor selects the workload predictor fed by per-window utilisation.
@@ -208,6 +226,23 @@ func (c Config) Validate() error {
 	if c.MaxBER < 0 || c.MaxBER > 1 {
 		return fmt.Errorf("policy: MaxBER %g outside [0,1]", c.MaxBER)
 	}
+	switch c.Kind {
+	case KindDVS:
+	case KindRules:
+		if err := c.Rules.Validate(); err != nil {
+			return err
+		}
+	case KindPID:
+		if err := c.PID.Validate(); err != nil {
+			return err
+		}
+	case KindOracleReplay:
+		if c.Oracle == nil {
+			return fmt.Errorf("policy: KindOracleReplay needs an Oracle schedule")
+		}
+	default:
+		return fmt.Errorf("policy: unknown kind %d", int(c.Kind))
+	}
 	return c.Thresholds.Validate()
 }
 
@@ -236,7 +271,9 @@ func (d Decision) String() string {
 	}
 }
 
-// Stats counts controller activity.
+// Stats counts policy activity. The loss-adaptation counters (LossDerates,
+// StormBackoffs, GradualUps) are maintained only by the rule engine and
+// stay zero for other kinds.
 type Stats struct {
 	Windows   int
 	Ups       int
@@ -245,6 +282,10 @@ type Stats struct {
 	Rejected  int // steps the link refused (extreme level or mid-transition)
 	Guarded   int // StepUps refused by the MaxBER reliability guard
 	PdecCount int
+
+	LossDerates   int // R2/R3 step-downs taken under measured loss or projected BER
+	StormBackoffs int // R1 step-downs toward the safe level during relock storms
+	GradualUps    int // hysteresis-gated recovery step-ups after clean windows
 }
 
 // Controller is the per-link policy controller of Fig. 4(b). Tick must be
@@ -435,3 +476,6 @@ func (c *Controller) laserTick(now sim.Cycle) {
 
 // Stats returns the controller's activity counters.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// Kind identifies the controller as the history-window DVS policy.
+func (c *Controller) Kind() Kind { return KindDVS }

@@ -69,3 +69,198 @@ func (c *Controller) RestoreState(st ControllerState) error {
 	c.stats = st.Stats
 	return nil
 }
+
+// RulesState is the exportable mutable state of a RuleEngine.
+type RulesState struct {
+	LastBusy   float64
+	LastOccInt float64
+	LastFlits  int64
+	LastRetx   int64
+	LastCrc    int64
+	LastEsc    int64
+	LastRelock int64
+
+	History []float64
+	HIdx    int
+	HCount  int
+
+	Holding     bool
+	TimerAt     sim.Cycle
+	CleanStreak int
+
+	Stats Stats
+}
+
+// PIDState is the exportable mutable state of a PIDTracker.
+type PIDState struct {
+	LastBusy float64
+	Integ    float64
+	LastErr  float64
+	Primed   bool
+
+	Stats Stats
+}
+
+// ReplayState is the exportable mutable state of a Replay policy (the
+// schedule itself is configuration and travels with the Config).
+type ReplayState struct {
+	Stats Stats
+}
+
+// PolicyState is the kind-tagged union a LinkPolicy exports. Exactly the
+// pointer matching Kind is non-nil.
+type PolicyState struct {
+	Kind   Kind
+	DVS    *ControllerState
+	Rules  *RulesState
+	PID    *PIDState
+	Replay *ReplayState
+}
+
+// kindMismatch builds the uniform restore error for a wrong-kind snapshot.
+func kindMismatch(want Kind, st PolicyState) error {
+	return fmt.Errorf("policy: snapshot kind %v does not match %v policy", st.Kind, want)
+}
+
+// ExportPolicy implements LinkPolicy for the DVS controller.
+func (c *Controller) ExportPolicy() PolicyState {
+	s := c.ExportState()
+	return PolicyState{Kind: KindDVS, DVS: &s}
+}
+
+// RestorePolicy implements LinkPolicy for the DVS controller.
+func (c *Controller) RestorePolicy(st PolicyState) error {
+	if st.Kind != KindDVS || st.DVS == nil {
+		return kindMismatch(KindDVS, st)
+	}
+	return c.RestoreState(*st.DVS)
+}
+
+// ExportPolicy captures the rule engine's mutable state.
+func (e *RuleEngine) ExportPolicy() PolicyState {
+	hist := make([]float64, len(e.history))
+	copy(hist, e.history)
+	return PolicyState{Kind: KindRules, Rules: &RulesState{
+		LastBusy:    e.lastBusy,
+		LastOccInt:  e.lastOccInt,
+		LastFlits:   e.lastFlits,
+		LastRetx:    e.lastRetx,
+		LastCrc:     e.lastCrc,
+		LastEsc:     e.lastEsc,
+		LastRelock:  e.lastRelock,
+		History:     hist,
+		HIdx:        e.hIdx,
+		HCount:      e.hCount,
+		Holding:     e.holding,
+		TimerAt:     e.timerAt,
+		CleanStreak: e.cleanStreak,
+		Stats:       e.stats,
+	}}
+}
+
+// RestorePolicy overwrites the rule engine's mutable state.
+func (e *RuleEngine) RestorePolicy(st PolicyState) error {
+	if st.Kind != KindRules || st.Rules == nil {
+		return kindMismatch(KindRules, st)
+	}
+	s := st.Rules
+	if len(s.History) != len(e.history) {
+		return fmt.Errorf("policy: snapshot history window %d, rule engine has %d", len(s.History), len(e.history))
+	}
+	if s.HIdx < 0 || s.HIdx >= len(e.history) || s.HCount < 0 || s.HCount > len(e.history) {
+		return fmt.Errorf("policy: snapshot history cursor %d/%d out of range", s.HIdx, s.HCount)
+	}
+	e.lastBusy = s.LastBusy
+	e.lastOccInt = s.LastOccInt
+	e.lastFlits = s.LastFlits
+	e.lastRetx = s.LastRetx
+	e.lastCrc = s.LastCrc
+	e.lastEsc = s.LastEsc
+	e.lastRelock = s.LastRelock
+	copy(e.history, s.History)
+	e.hIdx = s.HIdx
+	e.hCount = s.HCount
+	e.holding = s.Holding
+	e.timerAt = s.TimerAt
+	e.cleanStreak = s.CleanStreak
+	e.stats = s.Stats
+	return nil
+}
+
+// ExportPolicy captures the PID tracker's mutable state.
+func (p *PIDTracker) ExportPolicy() PolicyState {
+	return PolicyState{Kind: KindPID, PID: &PIDState{
+		LastBusy: p.lastBusy,
+		Integ:    p.integ,
+		LastErr:  p.lastErr,
+		Primed:   p.primed,
+		Stats:    p.stats,
+	}}
+}
+
+// RestorePolicy overwrites the PID tracker's mutable state.
+func (p *PIDTracker) RestorePolicy(st PolicyState) error {
+	if st.Kind != KindPID || st.PID == nil {
+		return kindMismatch(KindPID, st)
+	}
+	p.lastBusy = st.PID.LastBusy
+	p.integ = st.PID.Integ
+	p.lastErr = st.PID.LastErr
+	p.primed = st.PID.Primed
+	p.stats = st.PID.Stats
+	return nil
+}
+
+// ExportPolicy captures the replay policy's mutable state.
+func (p *Replay) ExportPolicy() PolicyState {
+	return PolicyState{Kind: KindOracleReplay, Replay: &ReplayState{Stats: p.stats}}
+}
+
+// RestorePolicy overwrites the replay policy's mutable state.
+func (p *Replay) RestorePolicy(st PolicyState) error {
+	if st.Kind != KindOracleReplay || st.Replay == nil {
+		return kindMismatch(KindOracleReplay, st)
+	}
+	p.stats = st.Replay.Stats
+	return nil
+}
+
+// TraceState is the exportable state of a trace Recorder, so an
+// auto-checkpointed recording run resumes with its trace intact.
+type TraceState struct {
+	Window    sim.Cycle
+	Links     []LinkTrace
+	LastFlits []int64
+}
+
+// ExportState captures the recorder (deep copy).
+func (r *Recorder) ExportState() TraceState {
+	st := TraceState{
+		Window:    r.trace.Window,
+		Links:     make([]LinkTrace, len(r.trace.Links)),
+		LastFlits: append([]int64(nil), r.lastFlits...),
+	}
+	for i, lt := range r.trace.Links {
+		st.Links[i] = LinkTrace{
+			Flits:   append([]int64(nil), lt.Flits...),
+			MaxSafe: append([]int8(nil), lt.MaxSafe...),
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the recorder from a snapshot.
+func (r *Recorder) RestoreState(st TraceState) error {
+	if len(st.Links) != len(r.trace.Links) || len(st.LastFlits) != len(r.lastFlits) {
+		return fmt.Errorf("policy: trace snapshot has %d links, recorder has %d", len(st.Links), len(r.trace.Links))
+	}
+	r.trace.Window = st.Window
+	for i, lt := range st.Links {
+		r.trace.Links[i] = LinkTrace{
+			Flits:   append([]int64(nil), lt.Flits...),
+			MaxSafe: append([]int8(nil), lt.MaxSafe...),
+		}
+	}
+	copy(r.lastFlits, st.LastFlits)
+	return nil
+}

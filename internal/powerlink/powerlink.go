@@ -478,6 +478,21 @@ func (l *Link) EnergyJ(now sim.Cycle) float64 {
 	return l.energyJ
 }
 
+// LevelPowerW returns the steady-state electrical power at the given
+// electrical level under the link's current optical operating point — the
+// per-level cost model the offline policy oracle prices schedules with.
+// Read-only: it does not advance the link's lazy state machine.
+func (l *Link) LevelPowerW(level int) float64 { return l.steadyPower(level) }
+
+// RelockFailures returns the cumulative count of fault-injected CDR relock
+// failures on this link, advancing the lazy state machine so failures from
+// any pending transition at `now` are included. A cheap accessor for the
+// loss-aware policy's per-window differencing (Stats copies slices).
+func (l *Link) RelockFailures(now sim.Cycle) int64 {
+	l.advance(now)
+	return int64(l.relockFails)
+}
+
 // VddV returns the supply voltage currently applied (V): the voltage of the
 // higher of the operating and target levels (voltage leads frequency on the
 // way up and lags it on the way down), or 0 while the link is off.

@@ -36,6 +36,10 @@ type Summary struct {
 	// Recovery carries the fault-aware routing and stall-watchdog counters
 	// (nil when the run had no recovery subsystem).
 	Recovery *stats.Recovery `json:"recovery,omitempty"`
+	// Policy carries the adaptive-policy counters and, when a regret
+	// oracle was computed, the energy bound and regret (nil when the run
+	// had no policy controllers).
+	Policy *stats.Policy `json:"policy,omitempty"`
 	// Telemetry carries the telemetry digest (nil when telemetry was
 	// disabled for the run).
 	Telemetry *telemetry.Digest `json:"telemetry,omitempty"`

@@ -46,6 +46,23 @@ func sampleSummary() Summary {
 			DownMeshLinks:    1,
 			ReachRecomputes:  4,
 		},
+		Policy: &stats.Policy{
+			Kind:          "rules",
+			Windows:       950,
+			Ups:           12,
+			Downs:         48,
+			Holds:         890,
+			Rejected:      3,
+			Guarded:       2,
+			PdecCount:     1,
+			LossDerates:   31,
+			StormBackoffs: 4,
+			GradualUps:    12,
+			EnergyJ:       0.0051,
+			OracleEnergyJ: 0.0036,
+			RegretJ:       0.0015,
+			RegretFrac:    0.4166,
+		},
 		Telemetry: &telemetry.Digest{
 			Samples:       120,
 			SeriesCount:   1574,
@@ -76,7 +93,8 @@ func TestSummaryRoundTrip(t *testing.T) {
 		t.Errorf("round trip changed the summary:\nin:  %+v\nout: %+v", in, out)
 	}
 	for _, want := range []string{"reliability", "recovery", "watchdog_drops", "unreachable_drops", "crc_drops",
-		"level_histogram", "off_links", "time_at_level", "telemetry", "sample_every", "latency_p99"} {
+		"level_histogram", "off_links", "time_at_level", "telemetry", "sample_every", "latency_p99",
+		"policy", "loss_derates", "storm_backoffs", "gradual_ups", "oracle_energy_j", "regret_j", "regret_frac"} {
 		if !strings.Contains(string(b), `"`+want+`"`) {
 			t.Errorf("JSON missing %q field:\n%s", want, b)
 		}
@@ -104,9 +122,13 @@ func TestSummariesRoundTrip(t *testing.T) {
 	}
 }
 
-// TestParseSummaryRejectsUnknownFields: schema drift fails loudly.
+// TestParseSummaryRejectsUnknownFields: schema drift fails loudly — at the
+// top level and inside nested blocks like policy.
 func TestParseSummaryRejectsUnknownFields(t *testing.T) {
 	if _, err := ParseSummary([]byte(`{"experiment":"x","seed":1,"bogus":3}`)); err == nil {
-		t.Error("unknown field accepted")
+		t.Error("unknown top-level field accepted")
+	}
+	if _, err := ParseSummary([]byte(`{"experiment":"x","seed":1,"policy":{"kind":"dvs","regret_pct":3}}`)); err == nil {
+		t.Error("unknown policy field accepted")
 	}
 }

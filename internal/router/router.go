@@ -95,15 +95,19 @@ type Router struct {
 }
 
 type inputVC struct {
-	buf      *Buffer
-	route    int     // output port for the current packet, -1 when unset
-	outVC    int     // allocated output VC at that port, -1 when unset
-	vcMask   uint32  // downstream VCs the current packet may claim
-	curPkt   *Packet // packet whose wormhole currently owns this input VC
-	inReq     bool // currently queued in an output's request list
+	buf       *Buffer
+	route     int     // output port for the current packet, -1 when unset
+	outVC     int     // allocated output VC at that port, -1 when unset
+	vcMask    uint32  // downstream VCs the current packet may claim
+	curPkt    *Packet // packet whose wormhole currently owns this input VC
+	inReq     bool    // currently queued in an output's request list
 	upstream  CreditSink
 	upVC      int
 	creditKey uint64 // ordering key for credit returns: (upstream actor, us)
+	// creditsInFlight counts credit returns scheduled but not yet
+	// delivered upstream. Burst discards put several in flight at once;
+	// the conservation audit needs the exact count to bracket tightly.
+	creditsInFlight int
 
 	// progressAt is the cycle of the last forward progress on this VC —
 	// a pop, or an arrival into an empty buffer. The stall watchdog
@@ -177,9 +181,10 @@ func New(cfg Config, sched Scheduler) *Router {
 		idx := i
 		in.holEvt = func(now sim.Cycle) { r.register(now, idx) }
 		in.creditEvt = func(now sim.Cycle) {
-			up := r.ins[idx].upstream
-			if up != nil {
-				up.ReturnCredit(now, r.ins[idx].upVC)
+			in := &r.ins[idx]
+			in.creditsInFlight--
+			if up := in.upstream; up != nil {
+				up.ReturnCredit(now, in.upVC)
 			}
 		}
 	}
@@ -250,6 +255,12 @@ func (r *Router) Output(p int) *Output { return &r.outs[p] }
 // InputBuffer returns the buffer of input port p, virtual channel v —
 // what the upstream link's policy controller samples for Bu.
 func (r *Router) InputBuffer(p, v int) *Buffer { return r.ins[p*r.vcs+v].buf }
+
+// CreditsInFlight returns the number of credit returns for input port p,
+// VC v that are scheduled but not yet delivered upstream — conservation
+// slack for the audit (a killed packet's discard puts one per flit in
+// flight at once).
+func (r *Router) CreditsInFlight(p, v int) int { return r.ins[p*r.vcs+v].creditsInFlight }
 
 // SetUpstream wires the credit-return path for input port p, VC v: when a
 // flit leaves that buffer, sink.ReturnCredit(·, upVC) is invoked after
@@ -341,6 +352,7 @@ func (r *Router) discardKilled(now sim.Cycle, ivc int) {
 		in.progressAt = now
 		r.flitsDiscarded++
 		if in.upstream != nil {
+			in.creditsInFlight++
 			r.sched.Schedule(now+CreditDelay, in.creditKey, r.creditID(ivc), in.creditEvt)
 		}
 		if f.IsTail() && in.curPkt == p {
@@ -593,6 +605,7 @@ func (o *Output) TryGrant(now sim.Cycle) bool {
 			r.escGrants++
 		}
 		if in.upstream != nil {
+			in.creditsInFlight++
 			r.sched.Schedule(now+CreditDelay, in.creditKey, r.creditID(ivc), in.creditEvt)
 		}
 		f.VC = int8(v)

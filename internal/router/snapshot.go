@@ -190,6 +190,9 @@ type InputVCState struct {
 	CurPktID   int64 // 0 = no wormhole in progress
 	InReq      bool
 	ProgressAt sim.Cycle
+	// CreditsInFlight mirrors the scheduled-but-undelivered credit
+	// returns; the wheel snapshot re-creates the events themselves.
+	CreditsInFlight int
 }
 
 // OutVCState is one output VC's credit and ownership state.
@@ -247,6 +250,7 @@ func (r *Router) ExportState(collect PacketCollector) RouterState {
 		}
 		is.InReq = in.inReq
 		is.ProgressAt = in.progressAt
+		is.CreditsInFlight = in.creditsInFlight
 	}
 	for p := range r.outs {
 		o := &r.outs[p]
@@ -295,6 +299,7 @@ func (r *Router) RestoreState(st RouterState, resolve PacketResolver) error {
 		}
 		in.inReq = is.InReq
 		in.progressAt = is.ProgressAt
+		in.creditsInFlight = is.CreditsInFlight
 	}
 	for p := range st.Outs {
 		o := &r.outs[p]

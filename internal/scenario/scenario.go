@@ -132,11 +132,40 @@ type Run struct {
 	Bucket int64 `json:"bucket"`
 }
 
+// Policy is the JSON-facing adaptive-policy description. The zero value
+// keeps the history-window DVS controller with the system section's
+// window/threshold knobs, exactly as before the section existed.
+type Policy struct {
+	// Kind: "dvs" (default), "rules", or "pid". The oracle-replay kind
+	// needs a recorded schedule and is only reachable programmatically.
+	Kind string `json:"kind"`
+	// MaxBER enables the reliability guard (and the rule engine's
+	// projected-BER rule) when positive.
+	MaxBER float64 `json:"maxBER"`
+
+	// Rule-engine knobs (kind "rules"); zero values take the defaults.
+	LossHigh       float64 `json:"lossHigh"`
+	LossLow        float64 `json:"lossLow"`
+	StormRelocks   int64   `json:"stormRelocks"`
+	SafeLevel      int     `json:"safeLevel"`
+	HoldCycles     int64   `json:"holdCycles"`
+	RecoverWindows int     `json:"recoverWindows"`
+
+	// PID knobs (kind "pid"); zero values take the defaults.
+	Setpoint      float64 `json:"setpoint"`
+	Kp            float64 `json:"kp"`
+	Ki            float64 `json:"ki"`
+	Kd            float64 `json:"kd"`
+	IntegralClamp float64 `json:"integralClamp"`
+	StepThreshold float64 `json:"stepThreshold"`
+}
+
 // Scenario is a complete scenario file.
 type Scenario struct {
 	System   System   `json:"system"`
 	Workload Workload `json:"workload"`
 	Fault    Fault    `json:"fault"`
+	Policy   Policy   `json:"policy"`
 	Run      Run      `json:"run"`
 }
 
@@ -243,6 +272,34 @@ func (s *Scenario) NetworkConfig() (network.Config, error) {
 		cfg.Policy.EWMAAlpha = defaulted(sys.EWMAAlpha, 0.5)
 	default:
 		return cfg, fmt.Errorf("scenario: unknown predictor %q", sys.Predictor)
+	}
+
+	pol := s.Policy
+	kind, err := policy.ParseKind(pol.Kind)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Policy.Kind = kind
+	cfg.Policy.MaxBER = pol.MaxBER
+	if kind == policy.KindRules {
+		rc := policy.DefaultRulesConfig()
+		rc.LossHigh = defaulted(pol.LossHigh, rc.LossHigh)
+		rc.LossLow = defaulted(pol.LossLow, rc.LossLow)
+		rc.StormRelocks = defaulted(pol.StormRelocks, rc.StormRelocks)
+		rc.SafeLevel = defaulted(pol.SafeLevel, rc.SafeLevel)
+		rc.HoldCycles = sim.Cycle(defaulted(pol.HoldCycles, int64(rc.HoldCycles)))
+		rc.RecoverWindows = defaulted(pol.RecoverWindows, rc.RecoverWindows)
+		cfg.Policy.Rules = rc
+	}
+	if kind == policy.KindPID {
+		pc := policy.DefaultPIDConfig()
+		pc.Setpoint = defaulted(pol.Setpoint, pc.Setpoint)
+		pc.Kp = defaulted(pol.Kp, pc.Kp)
+		pc.Ki = defaulted(pol.Ki, pc.Ki)
+		pc.Kd = defaulted(pol.Kd, pc.Kd)
+		pc.IntegralClamp = defaulted(pol.IntegralClamp, pc.IntegralClamp)
+		pc.StepThreshold = defaulted(pol.StepThreshold, pc.StepThreshold)
+		cfg.Policy.PID = pc
 	}
 
 	cfg.Shards = sys.Shards

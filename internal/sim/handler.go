@@ -29,6 +29,7 @@ const (
 	HRecScan      uint8 = 11 // recovery stall-watchdog scan
 	HTelemSample  uint8 = 12 // telemetry sampler tick
 	HTelemMarker  uint8 = 13 // telemetry scheduled marker (obj = ordinal)
+	HPolicyTimer  uint8 = 14 // policy hold/backoff timer (obj = controller ordinal)
 )
 
 // HandlerID packs a handler descriptor.

@@ -181,6 +181,56 @@ type Reliability struct {
 	DownLinks int `json:"down_links"`
 }
 
+// Policy aggregates the adaptive-policy counters of a run across every
+// controlled link, plus the regret bookkeeping against the offline oracle
+// when one was computed.
+type Policy struct {
+	// Kind names the policy implementation ("dvs", "rules", "pid",
+	// "oracle-replay").
+	Kind string `json:"kind"`
+	// Windows counts policy evaluations summed over all controllers.
+	Windows int `json:"windows"`
+	// Ups/Downs/Holds count the decisions taken.
+	Ups   int `json:"ups"`
+	Downs int `json:"downs"`
+	Holds int `json:"holds"`
+	// Rejected counts steps the link refused (extreme level or
+	// mid-transition).
+	Rejected int `json:"rejected"`
+	// Guarded counts step-ups refused by the MaxBER reliability guard.
+	Guarded int `json:"guarded"`
+	// PdecCount counts external-laser power decrements.
+	PdecCount int `json:"pdec_count"`
+	// LossDerates counts rule-engine step-downs taken under measured loss
+	// or projected BER (zero for other kinds).
+	LossDerates int `json:"loss_derates"`
+	// StormBackoffs counts rule-engine step-downs toward the safe level
+	// during relock storms (zero for other kinds).
+	StormBackoffs int `json:"storm_backoffs"`
+	// GradualUps counts hysteresis-gated recovery step-ups after clean
+	// windows (zero for other kinds).
+	GradualUps int `json:"gradual_ups"`
+	// EnergyJ is the energy consumed by the policy-controlled links.
+	EnergyJ float64 `json:"energy_j"`
+	// OracleEnergyJ is the offline-optimal lower bound on EnergyJ computed
+	// from a recorded trace (absent when no oracle ran).
+	OracleEnergyJ float64 `json:"oracle_energy_j,omitempty"`
+	// RegretJ = EnergyJ − OracleEnergyJ: the energy better control could
+	// have saved at most (absent when no oracle ran).
+	RegretJ float64 `json:"regret_j,omitempty"`
+	// RegretFrac is RegretJ / OracleEnergyJ (absent when no oracle ran).
+	RegretFrac float64 `json:"regret_frac,omitempty"`
+}
+
+// SetOracle fills the regret fields from an oracle energy bound.
+func (p *Policy) SetOracle(oracleJ float64) {
+	p.OracleEnergyJ = oracleJ
+	p.RegretJ = p.EnergyJ - oracleJ
+	if oracleJ > 0 {
+		p.RegretFrac = p.RegretJ / oracleJ
+	}
+}
+
 // Recovery aggregates the fault-aware routing and stall-watchdog counters
 // of a run: how traffic was steered around hard link failures and what the
 // last-resort escalations cost.
