@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race shuffle lint vet staticcheck optolint simdebug ci bench-snapshot
+.PHONY: all build test race shuffle lint vet staticcheck optolint simdebug ci bench-snapshot dse-smoke
 
 all: build test
 
@@ -61,3 +61,16 @@ BENCH_PATTERN ?= Step|Build|LevelHistogram
 bench-snapshot:
 	$(GO) test -run NONE -bench '$(BENCH_PATTERN)' -benchmem ./internal/network | \
 		$(GO) run ./cmd/benchsnap -out $(BENCH_OUT) -label $(BENCH_LABEL)
+
+# dse-smoke mirrors the CI job: the committed 8-trial grid study must
+# reproduce the committed golden frontier byte for byte, and a rerun over
+# the finished study directory must re-evaluate nothing.
+DSE_SMOKE_DIR ?= /tmp/optodse-smoke
+
+dse-smoke:
+	rm -rf $(DSE_SMOKE_DIR)
+	$(GO) run ./cmd/optodse -space internal/dse/testdata/smoke-space.json -out $(DSE_SMOKE_DIR)
+	cmp $(DSE_SMOKE_DIR)/frontier.json internal/dse/testdata/smoke-frontier.json
+	$(GO) run ./cmd/optodse -space internal/dse/testdata/smoke-space.json -out $(DSE_SMOKE_DIR) | \
+		grep -q '8 trials (0 fresh, 8 cached)'
+	cmp $(DSE_SMOKE_DIR)/frontier.json internal/dse/testdata/smoke-frontier.json

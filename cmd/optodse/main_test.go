@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce builds the optodse binary once per test process; the harness
+// needs a real executable because the worker fleet and the kill/resume
+// protocol are only meaningful across process boundaries.
+var buildOnce = struct {
+	sync.Once
+	bin string
+	err error
+}{}
+
+func optodseBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "optodse-harness")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "optodse")
+		out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+		if err != nil {
+			buildOnce.err = fmt.Errorf("building optodse: %v\n%s", err, out)
+			return
+		}
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatal(buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+// smokeSpace is the committed CI smoke study: the same space whose golden
+// frontier internal/dse's TestStudySmokeGolden records with the in-process
+// Sequential evaluator. Running the real binary against it proves the
+// subprocess fleet is byte-identical to in-process evaluation.
+const smokeSpace = "../../internal/dse/testdata/smoke-space.json"
+const smokeGolden = "../../internal/dse/testdata/smoke-frontier.json"
+
+func runOptodse(t *testing.T, bin, outDir string, env []string, extra ...string) (string, error) {
+	t.Helper()
+	args := append([]string{"-space", smokeSpace, "-out", outDir}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestOptodseValidatesUpfront: a malformed space fails the whole run before
+// the study directory or any worker subprocess exists, and the error names
+// the offending knob.
+func TestOptodseValidatesUpfront(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := optodseBin(t)
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad-space.json")
+	space := `{
+  "base": {"system": {"meshW": 4, "meshH": 4, "nodesPerRack": 2, "seed": 9},
+           "workload": {"type": "uniform", "rate": 0.3},
+           "run": {"warmup": 100, "measure": 400}},
+  "dims": [{"name": "warp_factor", "min": 1, "max": 2}]
+}`
+	if err := os.WriteFile(bad, []byte(space), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "study")
+	cmd := exec.Command(bin, "-space", bad, "-out", outDir)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("malformed space accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "warp_factor") {
+		t.Errorf("error does not name the unknown knob:\n%s", out)
+	}
+	// Validation must precede all side effects: no study directory, no
+	// trial log, no worker subprocesses.
+	if _, statErr := os.Stat(outDir); !os.IsNotExist(statErr) {
+		t.Errorf("study dir exists despite failed validation: %v", statErr)
+	}
+}
+
+// TestOptodseKillResumeByteIdentical is the resume acceptance harness: the
+// driver is SIGKILLed mid-study (kill-token hook — dies exactly like an
+// external `kill -9`), rerun, and the finished frontier is byte-identical
+// to an uninterrupted run's — and to the committed golden the in-process
+// evaluator records, proving subprocess trials match in-process ones. No
+// completed trial is ever re-evaluated on resume.
+func TestOptodseKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bin := optodseBin(t)
+	dir := t.TempDir()
+
+	golden, err := os.ReadFile(smokeGolden)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/dse -run TestStudySmokeGolden -update first)", err)
+	}
+
+	// Clean pass with the subprocess fleet.
+	cleanDir := filepath.Join(dir, "clean")
+	if out, err := runOptodse(t, bin, cleanDir, nil); err != nil {
+		t.Fatalf("clean pass: %v\n%s", err, out)
+	}
+	cleanFrontier, err := os.ReadFile(filepath.Join(cleanDir, "frontier.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cleanFrontier, golden) {
+		t.Errorf("subprocess-fleet frontier diverges from the in-process golden:\n--- got\n%s\n--- want\n%s",
+			cleanFrontier, golden)
+	}
+
+	// In-process pass: -inproc must be indistinguishable.
+	inprocDir := filepath.Join(dir, "inproc")
+	if out, err := runOptodse(t, bin, inprocDir, nil, "-inproc"); err != nil {
+		t.Fatalf("inproc pass: %v\n%s", err, out)
+	}
+	if got, err := os.ReadFile(filepath.Join(inprocDir, "frontier.json")); err != nil || !bytes.Equal(got, cleanFrontier) {
+		t.Errorf("-inproc frontier diverges from the fleet's (err %v)", err)
+	}
+
+	// Arm the kill token: the driver SIGKILLs itself after its second fresh
+	// trial is logged, mid-study.
+	token := filepath.Join(dir, "kill.token")
+	if err := os.WriteFile(token, []byte("2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	killDir := filepath.Join(dir, "killed")
+	out, err := runOptodse(t, bin, killDir, []string{killTokenEnv + "=" + token})
+	if err == nil {
+		t.Fatalf("armed run did not die:\n%s", out)
+	}
+	if _, err := os.Stat(token); !os.IsNotExist(err) {
+		t.Fatalf("kill token not consumed: %v", err)
+	}
+	log, err := os.ReadFile(filepath.Join(killDir, "trials.jsonl"))
+	if err != nil {
+		t.Fatalf("killed run left no trial log: %v", err)
+	}
+	if got := bytes.Count(log, []byte(`"trial"`)); got != 2 {
+		t.Fatalf("trial log holds %d trials at death, want exactly 2:\n%s", got, log)
+	}
+
+	// Resume: the two logged trials are never re-evaluated, and the
+	// finished frontier matches the clean pass byte for byte.
+	out, err = runOptodse(t, bin, killDir, nil)
+	if err != nil {
+		t.Fatalf("resume pass: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "6 fresh, 2 cached") {
+		t.Errorf("resume did not reuse the 2 logged trials:\n%s", out)
+	}
+	resumed, err := os.ReadFile(filepath.Join(killDir, "frontier.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, cleanFrontier) {
+		t.Errorf("resumed frontier diverges from the clean pass:\n--- resumed\n%s\n--- clean\n%s",
+			resumed, cleanFrontier)
+	}
+}

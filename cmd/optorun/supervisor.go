@@ -1,17 +1,16 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"strconv"
-	"syscall"
 	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/fleet"
+	"repro/internal/scenario"
 )
 
 // superConfig collects the supervisor knobs.
@@ -97,6 +96,18 @@ func runDirs(outDir string, idx int, scPath string) (ckptDir, outPath, logPath s
 // and resume from their newest valid checkpoint; outcomes land in
 // manifest.json after every transition.
 func supervise(cfg superConfig, scenarios []string) error {
+	// Validate the whole matrix upfront: a malformed scenario fails here,
+	// before any worker subprocess spawns or the manifest records a run —
+	// not minutes later from inside a crashed worker's log.
+	for _, scPath := range scenarios {
+		sc, err := scenario.LoadFile(scPath)
+		if err != nil {
+			return fmt.Errorf("optorun: %s: %w", scPath, err)
+		}
+		if err := sc.Validate(); err != nil {
+			return fmt.Errorf("optorun: %s: %w", scPath, err)
+		}
+	}
 	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
 		return err
 	}
@@ -162,46 +173,15 @@ func supervise(cfg superConfig, scenarios []string) error {
 	return nil
 }
 
-// runAttempt spawns one worker process and classifies its exit: clean,
-// worker-reported error, crash (signal), or deadline. On timeout the
-// worker first gets SIGTERM; if it has not exited after five seconds the
-// kill escalates to SIGKILL.
+// runAttempt spawns one worker process through fleet.Attempt, which
+// enforces the per-attempt deadline (SIGTERM, then SIGKILL five seconds
+// later) and classifies the exit: clean, worker-reported error, crash
+// (signal), or deadline.
 func runAttempt(cfg superConfig, self, scPath, ckptDir, outPath, logPath string) error {
-	ctx := context.Background()
-	if cfg.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
-		defer cancel()
-	}
-	logF, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	defer logF.Close()
-
-	cmd := exec.CommandContext(ctx, self,
+	return fleet.Attempt(cfg.Timeout, []string{self,
 		"-worker",
 		"-checkpoint-dir", ckptDir,
 		"-checkpoint-every", strconv.FormatInt(cfg.CkptEvery, 10),
 		"-out", outPath,
-		scPath)
-	cmd.Stdout = logF
-	cmd.Stderr = logF
-	cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }
-	cmd.WaitDelay = 5 * time.Second
-
-	err = cmd.Run()
-	if ctx.Err() == context.DeadlineExceeded {
-		return fmt.Errorf("worker exceeded deadline %s", cfg.Timeout)
-	}
-	if err == nil {
-		return nil
-	}
-	if ee, isExit := err.(*exec.ExitError); isExit {
-		if ws, isWait := ee.Sys().(syscall.WaitStatus); isWait && ws.Signaled() {
-			return fmt.Errorf("worker killed by %s", ws.Signal())
-		}
-		return fmt.Errorf("worker exited with %s (see %s)", ee, logPath)
-	}
-	return err
+		scPath}, logPath)
 }

@@ -149,6 +149,34 @@ func TestSupervisorSurvivesSIGKILL(t *testing.T) {
 	}
 }
 
+// TestSuperviseValidatesUpfront: a malformed scenario anywhere in the
+// matrix fails the whole supervise call before any worker subprocess
+// spawns — no manifest, no checkpoint directories, no worker logs — so a
+// typo surfaces in seconds instead of from inside a crashed worker.
+func TestSuperviseValidatesUpfront(t *testing.T) {
+	dir := t.TempDir()
+	good := harnessScenario(t, dir, 1)
+	bad := filepath.Join(dir, "bad.json")
+	// Parses fine; fails semantic validation (unknown routing).
+	if err := os.WriteFile(bad, []byte(`{"system": {"routing": "zigzag"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "out")
+
+	err := supervise(superConfig{OutDir: outDir, CkptEvery: 5000, Retries: 1}, []string{good, bad})
+	if err == nil || !strings.Contains(err.Error(), "zigzag") {
+		t.Fatalf("supervise accepted a malformed matrix: %v", err)
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+	// Validation must precede all side effects, including the good
+	// scenario's worker: the output directory was never even created.
+	if _, statErr := os.Stat(outDir); !os.IsNotExist(statErr) {
+		t.Errorf("out dir exists despite failed validation: %v", statErr)
+	}
+}
+
 // TestSupervisorResumesMatrix checks manifest-driven resumption: rerunning
 // a finished matrix re-executes nothing, and an interrupted matrix picks
 // up only the unfinished scenarios.

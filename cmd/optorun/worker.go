@@ -11,7 +11,6 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
-	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -140,47 +139,10 @@ func scenarioName(scPath string) string {
 
 // writeSummary renders the full report.Summary — headline numbers plus the
 // fault, recovery, and telemetry blocks when those layers ran — and
-// publishes it atomically.
+// publishes it atomically. The rendering itself is scenario.Summarize, the
+// path shared with the DSE trial evaluators.
 func writeSummary(outPath, scPath string, sc *scenario.Scenario, sys *core.System, res core.Result) error {
-	cfg := sys.Config()
-	n := sys.Net
-	lv, off := n.LevelHistogram()
-	hist := make([]int64, len(lv))
-	for i, v := range lv {
-		hist[i] = int64(v)
-	}
-	sum := report.Summary{
-		Experiment:     scenarioName(scPath),
-		Seed:           cfg.Seed,
-		MeanLatency:    res.MeanLatencyCycles,
-		NormPower:      res.NormPower,
-		Delivered:      n.DeliveredPackets(),
-		Dropped:        n.DroppedPackets(),
-		LevelHistogram: hist,
-		OffLinks:       off,
-		TimeAtLevel:    n.TimeAtLevelHistogram(),
-	}
-	if cfg.Fault.Enabled() {
-		rel := n.FaultStats()
-		sum.Reliability = &rel
-	}
-	if cfg.Recovery.Enabled {
-		rec := n.RecoveryStats()
-		sum.Recovery = &rec
-	}
-	if ps := n.PolicyStats(); ps.Windows > 0 {
-		if tr := n.PolicyTrace(); tr != nil {
-			if o, err := policy.ComputeOracle(*tr, n.ControlledLinkModels()); err == nil {
-				ps.SetOracle(o.EnergyJ)
-			}
-		}
-		sum.Policy = &ps
-	}
-	if cfg.Telemetry.Enabled {
-		d := n.Telemetry().Digest()
-		sum.Telemetry = &d
-	}
-	return publishSummary(outPath, sum)
+	return publishSummary(outPath, scenario.Summarize(scenarioName(scPath), sys, res))
 }
 
 // writeResultSummary is the reduced form for non-resumable (series) runs.

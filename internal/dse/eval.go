@@ -1,0 +1,38 @@
+package dse
+
+import (
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// ExecuteTrial runs one materialized trial to completion and renders its
+// summary — the same scenario.Summarize path the optorun worker uses, so
+// an in-process trial and a subprocess trial of the same point produce
+// byte-identical summaries. The trial's params echo is stamped into the
+// summary so a result file is self-describing.
+func ExecuteTrial(p *Pending) (report.Summary, error) {
+	sys, warmup, measure, err := p.Scenario.NewSystem()
+	if err != nil {
+		return report.Summary{}, err
+	}
+	defer sys.Net.Close()
+	if warmup > 0 {
+		sys.RunTo(warmup)
+	}
+	sys.StartMeasure()
+	sys.RunTo(warmup + measure)
+	sum := scenario.Summarize(TrialName(p.ID), sys, sys.ResultAt(warmup+measure))
+	params := p.Params
+	sum.Params = &params
+	return sum, nil
+}
+
+// Sequential is the in-process evaluator: trials run one after another on
+// the calling goroutine. It is the reference EvalFunc — the parallel
+// subprocess fleet in cmd/optodse must be indistinguishable from it.
+func Sequential(pending []Pending, record RecordFunc) {
+	for i := range pending {
+		sum, err := ExecuteTrial(&pending[i])
+		record(pending[i].ID, sum, err)
+	}
+}

@@ -1,0 +1,157 @@
+package dse
+
+import (
+	"math"
+	"sort"
+)
+
+// Objectives is a trial's outcome on the three axes the study minimizes:
+// mean delivered-packet latency, total link energy over the measured
+// window, and the delivered-loss fraction dropped/(delivered+dropped).
+type Objectives struct {
+	MeanLatencyCycles float64 `json:"mean_latency_cycles"`
+	EnergyJ           float64 `json:"energy_j"`
+	LossFrac          float64 `json:"loss_frac"`
+}
+
+func (o Objectives) vec() [3]float64 {
+	return [3]float64{o.MeanLatencyCycles, o.EnergyJ, o.LossFrac}
+}
+
+// dominates reports whether a Pareto-dominates b under minimization: a is
+// no worse on every axis and strictly better on at least one.
+func dominates(a, b [3]float64) bool {
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// ParetoFront returns the indices of the non-dominated points, in input
+// order. Duplicate points do not dominate each other, so ties all survive.
+func ParetoFront(pts [][3]float64) []int {
+	var front []int
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i != j && dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// Hypervolume is the volume of objective space dominated by pts and
+// bounded by ref (minimization; points not strictly below ref on every
+// axis contribute nothing). Computed by slicing along the first axis and
+// sweeping the 2-D area of each slab — O(n² log n), fine at study sizes.
+func Hypervolume(pts [][3]float64, ref [3]float64) float64 {
+	var in [][3]float64
+	for _, p := range pts {
+		if p[0] < ref[0] && p[1] < ref[1] && p[2] < ref[2] {
+			in = append(in, p)
+		}
+	}
+	if len(in) == 0 {
+		return 0
+	}
+	keep := ParetoFront(in)
+	front := make([][3]float64, len(keep))
+	for i, k := range keep {
+		front[i] = in[k]
+	}
+	sort.Slice(front, func(i, j int) bool {
+		a, b := front[i], front[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	total := 0.0
+	for i := range front {
+		xEnd := ref[0]
+		if i+1 < len(front) {
+			xEnd = front[i+1][0]
+		}
+		width := xEnd - front[i][0]
+		if width <= 0 {
+			continue // zero-width slab between x-ties
+		}
+		// Every point with x ≤ the slab's left edge covers this slab.
+		active := make([][2]float64, 0, i+1)
+		for _, p := range front[:i+1] {
+			active = append(active, [2]float64{p[1], p[2]})
+		}
+		total += width * area2(active, ref[1], ref[2])
+	}
+	return total
+}
+
+// area2 is the 2-D dominated area under minimization: sweep y ascending,
+// tracking the best (lowest) z seen so far.
+func area2(pts [][2]float64, refY, refZ float64) float64 {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i][0] != pts[j][0] {
+			return pts[i][0] < pts[j][0]
+		}
+		return pts[i][1] < pts[j][1]
+	})
+	area := 0.0
+	bestZ := math.Inf(1)
+	for i := range pts {
+		yEnd := refY
+		if i+1 < len(pts) {
+			yEnd = pts[i+1][0]
+		}
+		if pts[i][1] < bestZ {
+			bestZ = pts[i][1]
+		}
+		if w := yEnd - pts[i][0]; w > 0 && bestZ < refZ {
+			area += w * (refZ - bestZ)
+		}
+	}
+	return area
+}
+
+// NormalizedHypervolume min-max normalizes the point set per axis (a
+// degenerate axis collapses to 0) and computes the hypervolume against the
+// reference point (1.1, 1.1, 1.1) — the standard scale-free indicator, so
+// studies over different workloads report comparable numbers.
+func NormalizedHypervolume(pts [][3]float64) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var lo, hi [3]float64
+	for a := 0; a < 3; a++ {
+		lo[a], hi[a] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range pts {
+		for a := 0; a < 3; a++ {
+			lo[a] = math.Min(lo[a], p[a])
+			hi[a] = math.Max(hi[a], p[a])
+		}
+	}
+	norm := make([][3]float64, len(pts))
+	for i, p := range pts {
+		for a := 0; a < 3; a++ {
+			if hi[a] > lo[a] {
+				norm[i][a] = (p[a] - lo[a]) / (hi[a] - lo[a])
+			}
+		}
+	}
+	return Hypervolume(norm, [3]float64{1.1, 1.1, 1.1})
+}

@@ -1,0 +1,91 @@
+package dse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDominates(t *testing.T) {
+	a := [3]float64{1, 2, 3}
+	cases := []struct {
+		b    [3]float64
+		want bool
+	}{
+		{[3]float64{2, 2, 3}, true},   // better on one axis, equal elsewhere
+		{[3]float64{2, 3, 4}, true},   // better everywhere
+		{[3]float64{1, 2, 3}, false},  // identical: no strict improvement
+		{[3]float64{0.5, 9, 9}, false}, // worse on one axis
+	}
+	for _, c := range cases {
+		if got := dominates(a, c.b); got != c.want {
+			t.Errorf("dominates(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	pts := [][3]float64{
+		{1, 5, 5},   // front (best on axis 0)
+		{5, 1, 5},   // front (best on axis 1)
+		{2, 2, 2},   // front (balanced)
+		{3, 3, 3},   // dominated by {2,2,2}
+		{2, 2, 2},   // duplicate of a front point: also survives
+		{10, 10, 1}, // front (best on axis 2)
+	}
+	got := ParetoFront(pts)
+	want := []int{0, 1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("front = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("front = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHypervolumeSinglePoint(t *testing.T) {
+	got := Hypervolume([][3]float64{{0.5, 0.5, 0.5}}, [3]float64{1, 1, 1})
+	if math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("hypervolume = %g, want 0.125", got)
+	}
+}
+
+func TestHypervolumeUnionMinusOverlap(t *testing.T) {
+	pts := [][3]float64{{0.2, 0.8, 0.8}, {0.8, 0.2, 0.2}}
+	// 0.8*0.2*0.2 + 0.2*0.8*0.8 - 0.2*0.2*0.2 (the double-counted corner).
+	want := 0.032 + 0.128 - 0.008
+	got := Hypervolume(pts, [3]float64{1, 1, 1})
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("hypervolume = %g, want %g", got, want)
+	}
+}
+
+func TestHypervolumeIgnoresOutsideAndDominated(t *testing.T) {
+	base := Hypervolume([][3]float64{{0.5, 0.5, 0.5}}, [3]float64{1, 1, 1})
+	got := Hypervolume([][3]float64{
+		{0.5, 0.5, 0.5},
+		{0.6, 0.6, 0.6}, // dominated: contributes nothing
+		{0.1, 0.1, 2.0}, // outside the reference box on axis 2
+	}, [3]float64{1, 1, 1})
+	if math.Abs(got-base) > 1e-12 {
+		t.Errorf("hypervolume = %g, want %g", got, base)
+	}
+	if Hypervolume(nil, [3]float64{1, 1, 1}) != 0 {
+		t.Error("empty set should have zero hypervolume")
+	}
+}
+
+func TestNormalizedHypervolume(t *testing.T) {
+	// A degenerate set normalizes to the origin: the full 1.1^3 box.
+	got := NormalizedHypervolume([][3]float64{{7, 7, 7}})
+	if math.Abs(got-1.1*1.1*1.1) > 1e-12 {
+		t.Errorf("degenerate normalized hypervolume = %g, want %g", got, 1.331)
+	}
+	// Adding a dominated point must not change the indicator.
+	a := NormalizedHypervolume([][3]float64{{1, 2, 2}, {2, 1, 1}})
+	b := NormalizedHypervolume([][3]float64{{1, 2, 2}, {2, 1, 1}, {2, 2, 2}})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("dominated point changed the indicator: %g vs %g", a, b)
+	}
+}

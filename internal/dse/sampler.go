@@ -1,0 +1,367 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Proposal is one trial request from a sampler: a point plus the fraction
+// of the base measure window to run it for (successive halving triages at
+// scale < 1; everything else proposes full-scale trials).
+type Proposal struct {
+	Point Point
+	Scale float64
+}
+
+// Sampler proposes trials generation by generation. The study evaluates
+// one NextBatch fully, feeds every completed trial back through Observe in
+// trial-ID order, and only then asks for the next batch — so the proposal
+// stream is a deterministic function of (space, seed, options) regardless
+// of how trials were scheduled across workers. An empty batch ends the
+// study.
+type Sampler interface {
+	Name() string
+	NextBatch() []Proposal
+	Observe(t Trial)
+}
+
+// Options are the sampler-family knobs. Zero values take defaults.
+type Options struct {
+	// Trials bounds the total proposal count (random, TPE) or sets the
+	// first-rung population (halving). Default 32.
+	Trials int
+	// Batch is the proposals-per-generation granularity. Default 8.
+	Batch int
+	// Eta is the halving survivor divisor and scale multiplier. Default 2.
+	Eta int
+	// MinScale is halving's first-rung measure fraction. Default 0.25.
+	MinScale float64
+	// Gamma is TPE's good-quantile fraction. Default 0.25.
+	Gamma float64
+}
+
+func (o Options) defaulted() Options {
+	if o.Trials <= 0 {
+		o.Trials = 32
+	}
+	if o.Batch <= 0 {
+		o.Batch = 8
+	}
+	if o.Eta < 2 {
+		o.Eta = 2
+	}
+	if o.MinScale <= 0 || o.MinScale > 1 {
+		o.MinScale = 0.25
+	}
+	if o.Gamma <= 0 || o.Gamma >= 1 {
+		o.Gamma = 0.25
+	}
+	return o
+}
+
+// NewSampler builds the named sampler over the space. All randomness comes
+// from sim.NewStream(space.Seed, sim.StreamDSE), so the proposal stream is
+// a pure function of the space file and the options.
+func NewSampler(kind string, sp *Space, opt Options) (Sampler, error) {
+	opt = opt.defaulted()
+	switch kind {
+	case "grid":
+		return &gridSampler{sp: sp, batch: opt.Batch}, nil
+	case "random":
+		return &randomSampler{sp: sp, opt: opt, rng: sim.NewStream(sp.Seed, sim.StreamDSE)}, nil
+	case "halving":
+		return &halvingSampler{sp: sp, opt: opt, rng: sim.NewStream(sp.Seed, sim.StreamDSE), scale: opt.MinScale}, nil
+	case "tpe":
+		return &tpeSampler{sp: sp, opt: opt, rng: sim.NewStream(sp.Seed, sim.StreamDSE)}, nil
+	default:
+		return nil, fmt.Errorf("dse: unknown sampler %q (grid, random, halving, tpe)", kind)
+	}
+}
+
+// gridSampler exhaustively enumerates the space's lattice in odometer
+// order (last dim fastest), chunked into batches for progress reporting.
+type gridSampler struct {
+	sp    *Space
+	batch int
+	next  int
+}
+
+func (g *gridSampler) Name() string    { return "grid" }
+func (g *gridSampler) Observe(t Trial) {}
+
+func (g *gridSampler) NextBatch() []Proposal {
+	size := g.sp.GridSize()
+	var out []Proposal
+	for len(out) < g.batch && g.next < size {
+		idx := g.next
+		g.next++
+		p := make(Point, len(g.sp.Dims))
+		// Decode the flat index, last dim fastest.
+		for i := len(g.sp.Dims) - 1; i >= 0; i-- {
+			vs := g.sp.GridValues(i)
+			p[i] = vs[idx%len(vs)]
+			idx /= len(vs)
+		}
+		out = append(out, Proposal{Point: p, Scale: 1})
+	}
+	return out
+}
+
+// uniformPoint draws one point uniformly over the space (log dims in log
+// space), shared by the random sampler and TPE's explore moves.
+func uniformPoint(sp *Space, rng *sim.RNG) Point {
+	p := make(Point, len(sp.Dims))
+	for i, d := range sp.Dims {
+		if d.Categorical() {
+			p[i] = float64(rng.Intn(len(d.Choices)))
+			continue
+		}
+		u := rng.Float64()
+		var v float64
+		if d.Log {
+			v = math.Exp(math.Log(d.Min) + u*(math.Log(d.Max)-math.Log(d.Min)))
+		} else {
+			v = d.Min + u*(d.Max-d.Min)
+		}
+		p[i] = sp.Clamp(i, v)
+	}
+	return p
+}
+
+// randomSampler draws seeded uniform points until the trial budget runs out.
+type randomSampler struct {
+	sp       *Space
+	opt      Options
+	rng      *sim.RNG
+	proposed int
+}
+
+func (r *randomSampler) Name() string    { return "random" }
+func (r *randomSampler) Observe(t Trial) {}
+
+func (r *randomSampler) NextBatch() []Proposal {
+	var out []Proposal
+	for len(out) < r.opt.Batch && r.proposed < r.opt.Trials {
+		out = append(out, Proposal{Point: uniformPoint(r.sp, r.rng), Scale: 1})
+		r.proposed++
+	}
+	return out
+}
+
+// scalarize collapses a trial set's objectives to a single min-max
+// normalized sum per trial (failed trials score +Inf), the rank used by
+// halving's survivor cut and TPE's good/bad split.
+func scalarize(ts []Trial) []float64 {
+	var lo, hi [3]float64
+	for a := 0; a < 3; a++ {
+		lo[a], hi[a] = math.Inf(1), math.Inf(-1)
+	}
+	any := false
+	for _, t := range ts {
+		if t.Objectives == nil {
+			continue
+		}
+		any = true
+		v := t.Objectives.vec()
+		for a := 0; a < 3; a++ {
+			lo[a] = math.Min(lo[a], v[a])
+			hi[a] = math.Max(hi[a], v[a])
+		}
+	}
+	scores := make([]float64, len(ts))
+	for i, t := range ts {
+		if t.Objectives == nil || !any {
+			scores[i] = math.Inf(1)
+			continue
+		}
+		v := t.Objectives.vec()
+		s := 0.0
+		for a := 0; a < 3; a++ {
+			if hi[a] > lo[a] {
+				s += (v[a] - lo[a]) / (hi[a] - lo[a])
+			}
+		}
+		scores[i] = s
+	}
+	return scores
+}
+
+// halvingSampler is successive halving: a seeded-random first rung at a
+// short measure window, then each rung keeps the best ceil(n/eta) trials
+// and re-runs them eta× longer, until the survivors run at full scale.
+// Short runs triage cheaply; only configurations that keep winning earn
+// the full-length evaluation the frontier is built from.
+type halvingSampler struct {
+	sp    *Space
+	opt   Options
+	rng   *sim.RNG
+	scale float64
+	rung  []Trial // observed trials of the in-flight rung
+	want  int     // proposals outstanding in the in-flight rung
+	done  bool
+}
+
+func (h *halvingSampler) Name() string { return "halving" }
+
+func (h *halvingSampler) Observe(t Trial) {
+	if h.want > 0 {
+		h.rung = append(h.rung, t)
+	}
+}
+
+func (h *halvingSampler) NextBatch() []Proposal {
+	if h.done {
+		return nil
+	}
+	if h.want == 0 {
+		// First rung: uniform population at the smallest scale.
+		out := make([]Proposal, h.opt.Trials)
+		for i := range out {
+			out[i] = Proposal{Point: uniformPoint(h.sp, h.rng), Scale: h.scale}
+		}
+		h.want = len(out)
+		return out
+	}
+	if len(h.rung) < h.want {
+		// The study did not feed the whole rung back; nothing sane to do.
+		h.done = true
+		return nil
+	}
+	if h.scale >= 1 {
+		h.done = true
+		return nil
+	}
+	// Cut to the best ceil(n/eta) by scalarized score (ties broken by
+	// trial ID, which Observe order already fixed).
+	scores := scalarize(h.rung)
+	order := make([]int, len(h.rung))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	keep := (len(h.rung) + h.opt.Eta - 1) / h.opt.Eta
+	if keep < 1 {
+		keep = 1
+	}
+	next := h.scale * float64(h.opt.Eta)
+	if next > 1 {
+		next = 1
+	}
+	out := make([]Proposal, 0, keep)
+	for _, i := range order[:keep] {
+		if math.IsInf(scores[i], 1) {
+			continue // never re-run a failed trial
+		}
+		out = append(out, Proposal{Point: append(Point(nil), h.rung[i].Point...), Scale: next})
+	}
+	h.scale = next
+	h.rung = h.rung[:0]
+	h.want = len(out)
+	if len(out) == 0 {
+		h.done = true
+	}
+	return out
+}
+
+// tpeSampler is a simple tree-structured-Parzen-style model: after a
+// uniform warmup it splits observed trials at the gamma quantile of the
+// scalarized score and proposes points near the good set — a perturbed
+// copy of a random good trial per numeric dim, an add-one-smoothed
+// histogram draw per categorical dim — with a 1-in-4 uniform explore move
+// per dim so the search never collapses onto one basin.
+type tpeSampler struct {
+	sp       *Space
+	opt      Options
+	rng      *sim.RNG
+	proposed int
+	observed []Trial
+}
+
+func (s *tpeSampler) Name() string { return "tpe" }
+
+func (s *tpeSampler) Observe(t Trial) {
+	if t.Objectives != nil && t.Scale >= 1 {
+		s.observed = append(s.observed, t)
+	}
+}
+
+func (s *tpeSampler) NextBatch() []Proposal {
+	var out []Proposal
+	for len(out) < s.opt.Batch && s.proposed < s.opt.Trials {
+		out = append(out, Proposal{Point: s.propose(), Scale: 1})
+		s.proposed++
+	}
+	return out
+}
+
+func (s *tpeSampler) propose() Point {
+	warmup := s.opt.Batch
+	if warmup < 8 {
+		warmup = 8
+	}
+	if len(s.observed) < warmup {
+		return uniformPoint(s.sp, s.rng)
+	}
+	scores := scalarize(s.observed)
+	order := make([]int, len(s.observed))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	nGood := int(math.Ceil(s.opt.Gamma * float64(len(order))))
+	if nGood < 1 {
+		nGood = 1
+	}
+	good := make([]Trial, nGood)
+	for i := 0; i < nGood; i++ {
+		good[i] = s.observed[order[i]]
+	}
+
+	p := make(Point, len(s.sp.Dims))
+	for i, d := range s.sp.Dims {
+		if s.rng.Float64() < 0.25 {
+			// Explore: uniform draw for this dim.
+			up := uniformPoint(s.sp, s.rng)
+			p[i] = up[i]
+			continue
+		}
+		if d.Categorical() {
+			// Add-one-smoothed histogram over the good set's choices.
+			counts := make([]float64, len(d.Choices))
+			total := 0.0
+			for c := range counts {
+				counts[c] = 1
+				total++
+			}
+			for _, g := range good {
+				counts[int(s.sp.Clamp(i, g.Point[i]))]++
+				total++
+			}
+			u := s.rng.Float64() * total
+			acc := 0.0
+			for c := range counts {
+				acc += counts[c]
+				if u < acc {
+					p[i] = float64(c)
+					break
+				}
+			}
+			continue
+		}
+		// Exploit: perturb a random good trial's value by a fixed-bandwidth
+		// kernel — (max-min)/8 linear, ×/÷ an eighth-decade in log space.
+		g := good[s.rng.Intn(len(good))]
+		v := s.sp.Clamp(i, g.Point[i])
+		u := 2*s.rng.Float64() - 1
+		if d.Log {
+			v *= math.Exp(u * (math.Log(d.Max) - math.Log(d.Min)) / 8)
+		} else {
+			v += u * (d.Max - d.Min) / 8
+		}
+		p[i] = s.sp.Clamp(i, v)
+	}
+	return p
+}

@@ -1,0 +1,202 @@
+package dse
+
+import (
+	"sort"
+	"testing"
+)
+
+func collectProposals(s Sampler, observe func(Proposal) Trial) []Proposal {
+	var all []Proposal
+	id := 0
+	for {
+		batch := s.NextBatch()
+		if len(batch) == 0 {
+			return all
+		}
+		all = append(all, batch...)
+		for _, p := range batch {
+			t := observe(p)
+			t.ID = id
+			id++
+			t.Point = p.Point
+			t.Scale = p.Scale
+			s.Observe(t)
+		}
+	}
+}
+
+// syntheticObjective scores a point by its first coordinate — lower is
+// better on every axis, so samplers that learn should drift toward low x.
+func syntheticObjective(p Proposal) Trial {
+	v := p.Point[0]
+	return Trial{Objectives: &Objectives{MeanLatencyCycles: v, EnergyJ: v, LossFrac: v / 100}}
+}
+
+func testSamplerSpace(t *testing.T) *Space {
+	t.Helper()
+	sp := &Space{Base: testBase(), Seed: 11, Dims: []Dim{
+		{Name: "avg_threshold", Min: 0.3, Max: 0.7, Step: 0.2},
+		{Name: "window", Min: 400, Max: 800, Step: 400, Int: true},
+		{Name: "routing", Choices: []string{"xy", "yx"}},
+	}}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestGridSamplerExhaustive(t *testing.T) {
+	sp := testSamplerSpace(t)
+	s, err := NewSampler("grid", sp, Options{Batch: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := collectProposals(s, syntheticObjective)
+	if len(all) != sp.GridSize() {
+		t.Fatalf("grid proposed %d trials, want %d", len(all), sp.GridSize())
+	}
+	seen := make(map[string]bool)
+	for _, p := range all {
+		if p.Scale != 1 {
+			t.Fatalf("grid proposal at scale %g", p.Scale)
+		}
+		seen[sp.Key(p.Point, p.Scale)] = true
+	}
+	if len(seen) != sp.GridSize() {
+		t.Errorf("grid repeated points: %d unique of %d", len(seen), sp.GridSize())
+	}
+}
+
+func TestRandomSamplerDeterministicAndBounded(t *testing.T) {
+	sp := testSamplerSpace(t)
+	mk := func() []Proposal {
+		s, err := NewSampler("random", sp, Options{Trials: 20, Batch: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return collectProposals(s, syntheticObjective)
+	}
+	a, b := mk(), mk()
+	if len(a) != 20 {
+		t.Fatalf("random proposed %d trials, want 20", len(a))
+	}
+	for i := range a {
+		if sp.Key(a[i].Point, a[i].Scale) != sp.Key(b[i].Point, b[i].Scale) {
+			t.Fatalf("same seed diverged at trial %d: %v vs %v", i, a[i], b[i])
+		}
+		for d := range a[i].Point {
+			if a[i].Point[d] != sp.Clamp(d, a[i].Point[d]) {
+				t.Errorf("trial %d dim %d out of domain: %g", i, d, a[i].Point[d])
+			}
+		}
+	}
+	// A different seed must produce a different stream.
+	sp2 := testSamplerSpace(t)
+	sp2.Seed = 12
+	s2, _ := NewSampler("random", sp2, Options{Trials: 20, Batch: 6})
+	c := collectProposals(s2, syntheticObjective)
+	same := 0
+	for i := range c {
+		if sp.Key(a[i].Point, 1) == sp.Key(c[i].Point, 1) {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Error("different seeds produced identical proposal streams")
+	}
+}
+
+func TestHalvingRungsShrinkAndGrow(t *testing.T) {
+	sp := testSamplerSpace(t)
+	s, err := NewSampler("halving", sp, Options{Trials: 8, Eta: 2, MinScale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rungs [][]Proposal
+	id := 0
+	for {
+		batch := s.NextBatch()
+		if len(batch) == 0 {
+			break
+		}
+		rungs = append(rungs, batch)
+		for _, p := range batch {
+			tr := syntheticObjective(p)
+			tr.ID = id
+			id++
+			tr.Point = p.Point
+			tr.Scale = p.Scale
+			s.Observe(tr)
+		}
+	}
+	if len(rungs) != 3 {
+		t.Fatalf("halving ran %d rungs, want 3 (0.25 -> 0.5 -> 1)", len(rungs))
+	}
+	wantSizes := []int{8, 4, 2}
+	wantScales := []float64{0.25, 0.5, 1}
+	for r, rung := range rungs {
+		if len(rung) != wantSizes[r] {
+			t.Errorf("rung %d has %d trials, want %d", r, len(rung), wantSizes[r])
+		}
+		for _, p := range rung {
+			if p.Scale != wantScales[r] {
+				t.Errorf("rung %d at scale %g, want %g", r, p.Scale, wantScales[r])
+			}
+		}
+	}
+	// Survivors must be the rung's best by the synthetic score: the 4
+	// lowest first coordinates of rung 0.
+	xs := make([]float64, 0, len(rungs[0]))
+	for _, p := range rungs[0] {
+		xs = append(xs, p.Point[0])
+	}
+	lowest := append([]float64(nil), xs...)
+	sort.Float64s(lowest)
+	allowed := make(map[float64]bool, 4)
+	for _, v := range lowest[:4] {
+		allowed[v] = true
+	}
+	for _, p := range rungs[1] {
+		if !allowed[p.Point[0]] {
+			t.Errorf("rung 1 kept a non-survivor with x=%g (rung 0 xs: %v)", p.Point[0], xs)
+		}
+	}
+}
+
+func TestTPESamplerDeterministicAndLearns(t *testing.T) {
+	sp := testSamplerSpace(t)
+	mk := func() []Proposal {
+		s, err := NewSampler("tpe", sp, Options{Trials: 40, Batch: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return collectProposals(s, syntheticObjective)
+	}
+	a, b := mk(), mk()
+	if len(a) != 40 {
+		t.Fatalf("tpe proposed %d trials, want 40", len(a))
+	}
+	for i := range a {
+		if sp.Key(a[i].Point, a[i].Scale) != sp.Key(b[i].Point, b[i].Scale) {
+			t.Fatalf("same seed diverged at trial %d", i)
+		}
+		for d := range a[i].Point {
+			if a[i].Point[d] != sp.Clamp(d, a[i].Point[d]) {
+				t.Errorf("trial %d dim %d out of domain: %g", i, d, a[i].Point[d])
+			}
+		}
+	}
+	// With "low first coordinate is better" feedback, the modeled half of
+	// the run should sit lower on dim 0 than the uniform warmup half.
+	warmup, model := a[:8], a[8:]
+	mean := func(ps []Proposal) float64 {
+		s := 0.0
+		for _, p := range ps {
+			s += p.Point[0]
+		}
+		return s / float64(len(ps))
+	}
+	if mw, mm := mean(warmup), mean(model); mm >= mw+0.05 {
+		t.Errorf("tpe did not drift toward the good region: warmup mean %g, modeled mean %g", mw, mm)
+	}
+}

@@ -1,0 +1,157 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// testBase is a small, fast base scenario shared by the space tests.
+func testBase() scenario.Scenario {
+	var sc scenario.Scenario
+	sc.System.MeshW, sc.System.MeshH, sc.System.NodesPerRack = 4, 4, 2
+	sc.System.Seed = 7
+	sc.Workload.Type = "uniform"
+	sc.Workload.Rate = 0.3
+	sc.Run.Warmup = 500
+	sc.Run.Measure = 2000
+	return sc
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"dims": [{"name": "window", "mim": 1}]}`))
+	if err == nil || !strings.Contains(err.Error(), "mim") {
+		t.Errorf("unknown dim field accepted: %v", err)
+	}
+	_, err = Load(strings.NewReader(`{"sampler": "grid"}`))
+	if err == nil {
+		t.Error("unknown top-level field accepted")
+	}
+}
+
+func TestValidateCatchesBadSpaces(t *testing.T) {
+	cases := []struct {
+		name string
+		dims []Dim
+		want string
+	}{
+		{"no dims", nil, "no dims"},
+		{"unknown knob", []Dim{{Name: "warp_factor", Min: 1, Max: 2}}, "warp_factor"},
+		{"inverted range", []Dim{{Name: "window", Min: 9, Max: 3}}, "min < max"},
+		{"zero min", []Dim{{Name: "rate", Min: 0, Max: 1}}, "min > 0"},
+		{"duplicate", []Dim{{Name: "rate", Min: 0.1, Max: 1}, {Name: "rate", Min: 0.1, Max: 1}}, "twice"},
+		{"numeric as categorical", []Dim{{Name: "window", Choices: []string{"a"}}}, "numeric"},
+		{"categorical as numeric", []Dim{{Name: "routing", Min: 1, Max: 2}}, "categorical"},
+		{"categorical mixing", []Dim{{Name: "routing", Choices: []string{"xy"}, Log: true}}, "mixes numeric"},
+		{"oversized step", []Dim{{Name: "rate", Min: 0.1, Max: 0.2, Step: 5}}, "step"},
+		// The bad choice only surfaces when the probe materializes it.
+		{"bad choice", []Dim{{Name: "routing", Choices: []string{"xy", "zigzag"}}}, "zigzag"},
+		// Cross-field breakage: a ladder floor above the base ceiling (10).
+		{"ladder floor", []Dim{{Name: "min_rate_gbps", Min: 11, Max: 12}}, "materialize"},
+	}
+	for _, c := range cases {
+		sp := &Space{Base: testBase(), Dims: c.dims}
+		err := sp.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestGridValues(t *testing.T) {
+	sp := &Space{Base: testBase(), Dims: []Dim{
+		{Name: "avg_threshold", Min: 0.3, Max: 0.7, Step: 0.1},
+		{Name: "window", Min: 400, Max: 800, Int: true}, // no step: endpoints
+		{Name: "routing", Choices: []string{"xy", "yx", "westfirst"}},
+	}}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := sp.GridValues(0); len(vs) != 5 || vs[0] != 0.3 || vs[4] != 0.7 {
+		t.Errorf("threshold lattice = %v, want 5 values from 0.3 to 0.7", vs)
+	}
+	if vs := sp.GridValues(1); len(vs) != 2 || vs[0] != 400 || vs[1] != 800 {
+		t.Errorf("stepless lattice = %v, want endpoints", vs)
+	}
+	if vs := sp.GridValues(2); len(vs) != 3 {
+		t.Errorf("categorical lattice = %v, want 3 indices", vs)
+	}
+	if got := sp.GridSize(); got != 30 {
+		t.Errorf("grid size = %d, want 30", got)
+	}
+}
+
+func TestMaterializeAppliesKnobsAndScale(t *testing.T) {
+	sp := &Space{Base: testBase(), Dims: []Dim{
+		{Name: "window", Min: 100, Max: 2000, Int: true},
+		{Name: "avg_threshold", Min: 0.3, Max: 0.7},
+		{Name: "policy_kind", Choices: []string{"dvs", "rules"}},
+	}}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sp.Materialize(Point{750.4, 0.5, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.System.Window != 750 {
+		t.Errorf("window = %d, want 750 (rounded)", sc.System.Window)
+	}
+	if sc.System.AvgThreshold != 0.5 {
+		t.Errorf("avgThreshold = %g, want 0.5", sc.System.AvgThreshold)
+	}
+	if sc.Policy.Kind != "rules" {
+		t.Errorf("policy kind = %q, want rules", sc.Policy.Kind)
+	}
+	if sc.Run.Measure != 2000 {
+		t.Errorf("full-scale measure = %d, want the base 2000", sc.Run.Measure)
+	}
+	// The base must not be mutated by materialization.
+	if sp.Base.System.Window != 0 || sp.Base.Policy.Kind != "" {
+		t.Errorf("base scenario mutated: %+v", sp.Base.System)
+	}
+
+	half, err := sp.Materialize(Point{200, 0.4, 0}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Run.Measure != 1000 {
+		t.Errorf("half-scale measure = %d, want 1000", half.Run.Measure)
+	}
+	// Out-of-domain coordinates clamp rather than error.
+	clamped, err := sp.Materialize(Point{1e9, -4, 99}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped.System.Window != 2000 || clamped.System.AvgThreshold != 0.3 || clamped.Policy.Kind != "rules" {
+		t.Errorf("clamping failed: window=%d th=%g kind=%q",
+			clamped.System.Window, clamped.System.AvgThreshold, clamped.Policy.Kind)
+	}
+
+	if _, err := sp.Materialize(Point{200, 0.4}, 1); err == nil {
+		t.Error("short point accepted")
+	}
+	if _, err := sp.Materialize(Point{200, 0.4, 0}, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestParamsForAndKey(t *testing.T) {
+	sp := &Space{Base: testBase(), Dims: []Dim{
+		{Name: "window", Min: 100, Max: 2000, Int: true},
+		{Name: "policy_kind", Choices: []string{"dvs", "rules"}},
+	}}
+	pr := sp.ParamsFor(Point{500, 1})
+	if pr.Values["window"] != 500 || pr.Labels["policy_kind"] != "rules" {
+		t.Errorf("params = %+v", pr)
+	}
+	// Keys canonicalize through clamping: a wildly out-of-range coordinate
+	// and the bound it clamps to are the same trial.
+	if sp.Key(Point{1e9, 1}, 1) != sp.Key(Point{2000, 1}, 1) {
+		t.Error("clamped coordinates should share a key")
+	}
+	if sp.Key(Point{500, 1}, 1) == sp.Key(Point{500, 1}, 0.5) {
+		t.Error("scale must be part of the key")
+	}
+}

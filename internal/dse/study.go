@@ -1,0 +1,498 @@
+package dse
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/atomicio"
+	"repro/internal/plot"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// Trial is one completed evaluation in the study log: the point, the
+// measure-window scale it ran at, its self-describing params echo, and
+// either the three objectives or the error that prevented them.
+type Trial struct {
+	ID         int           `json:"id"`
+	Point      Point         `json:"point"`
+	Scale      float64       `json:"scale"`
+	Params     report.Params `json:"params"`
+	Objectives *Objectives   `json:"objectives,omitempty"`
+	Error      string        `json:"error,omitempty"`
+}
+
+// studyHeader is the first log line: the identity of the search that
+// produced the log. A resume with a different space, sampler, or budget
+// would silently replay garbage, so Open rejects any mismatch.
+type studyHeader struct {
+	SpaceSHA256 string  `json:"space_sha256"`
+	Sampler     string  `json:"sampler"`
+	Seed        uint64  `json:"seed"`
+	Trials      int     `json:"trials"`
+	Batch       int     `json:"batch"`
+	Eta         int     `json:"eta"`
+	MinScale    float64 `json:"min_scale"`
+	Gamma       float64 `json:"gamma"`
+}
+
+// logRecord is one trials.jsonl line: exactly one of the fields is set.
+type logRecord struct {
+	Study *studyHeader `json:"study,omitempty"`
+	Trial *Trial       `json:"trial,omitempty"`
+}
+
+// Pending is one trial awaiting evaluation: the materialized scenario plus
+// everything the evaluator needs to report it back.
+type Pending struct {
+	ID     int
+	Point  Point
+	Scale  float64
+	Params report.Params
+	// Scenario is the fully materialized, validated scenario to run.
+	Scenario *scenario.Scenario
+}
+
+// RecordFunc reports one pending trial's outcome back to the study. The
+// study is not safe for concurrent records: a parallel evaluator must
+// serialize its calls (fleet.Run's onDone already does).
+type RecordFunc func(id int, sum report.Summary, evalErr error)
+
+// EvalFunc evaluates a generation of pending trials, reporting each one —
+// in any completion order — through record before returning.
+type EvalFunc func(pending []Pending, record RecordFunc)
+
+// Study drives one design-space search: it replays the sampler's proposal
+// stream, reuses every trial already present in the study log, hands the
+// rest to the evaluator, and persists the log after each completed trial
+// so an interrupted study resumes without re-evaluating anything.
+type Study struct {
+	// OnTrialDone, when set, fires after each freshly evaluated (not
+	// cached) trial with the running fresh count — progress reporting and
+	// the kill-token crash harness hang off it.
+	OnTrialDone func(fresh int)
+
+	space   *Space
+	sampler Sampler
+	dir     string
+	header  studyHeader
+
+	trials     []Trial
+	byID       map[int]int // trial ID -> index in trials
+	pending    map[int]Pending
+	cached     int
+	fresh      int
+	persistErr error
+}
+
+// TrialName is the experiment name a trial's summary carries.
+func TrialName(id int) string { return fmt.Sprintf("trial-%06d", id) }
+
+// spaceSHA256 hashes the canonical JSON encoding of the space.
+func spaceSHA256(sp *Space) (string, error) {
+	js, err := json.Marshal(sp)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(js)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Open validates the space, builds the sampler, and binds the study to a
+// directory (empty dir = in-memory study, used by tests). If the directory
+// already holds a study log with a matching header, its completed trials
+// are loaded and will be reused instead of re-evaluated.
+func Open(sp *Space, kind string, opt Options, dir string) (*Study, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewSampler(kind, sp, opt)
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.defaulted()
+	hash, err := spaceSHA256(sp)
+	if err != nil {
+		return nil, err
+	}
+	st := &Study{
+		space:   sp,
+		sampler: s,
+		dir:     dir,
+		header: studyHeader{
+			SpaceSHA256: hash,
+			Sampler:     kind,
+			Seed:        sp.Seed,
+			Trials:      opt.Trials,
+			Batch:       opt.Batch,
+			Eta:         opt.Eta,
+			MinScale:    opt.MinScale,
+			Gamma:       opt.Gamma,
+		},
+		byID:    make(map[int]int),
+		pending: make(map[int]Pending),
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := st.loadLog(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (st *Study) logPath() string      { return filepath.Join(st.dir, "trials.jsonl") }
+func (st *Study) frontierPath() string { return filepath.Join(st.dir, "frontier.json") }
+
+// Cached is how many trials the current Run reused from the study log.
+func (st *Study) Cached() int { return st.cached }
+
+// Fresh is how many trials the current Run actually evaluated.
+func (st *Study) Fresh() int { return st.fresh }
+
+// Trials returns a copy of the completed trials, sorted by ID.
+func (st *Study) Trials() []Trial { return append([]Trial(nil), st.trials...) }
+
+// loadLog reads an existing trials.jsonl, rejecting a header that does not
+// match this study's identity.
+func (st *Study) loadLog() error {
+	f, err := os.Open(st.logPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	sawHeader := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("dse: %s is corrupt: %w", st.logPath(), err)
+		}
+		switch {
+		case rec.Study != nil:
+			if *rec.Study != st.header {
+				return fmt.Errorf("dse: %s belongs to a different study (space, sampler, or budget changed); use a fresh directory", st.logPath())
+			}
+			sawHeader = true
+		case rec.Trial != nil:
+			st.trials = append(st.trials, *rec.Trial)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(st.trials) > 0 && !sawHeader {
+		return fmt.Errorf("dse: %s has trials but no study header", st.logPath())
+	}
+	st.reindex()
+	return nil
+}
+
+func (st *Study) reindex() {
+	sort.Slice(st.trials, func(i, j int) bool { return st.trials[i].ID < st.trials[j].ID })
+	st.byID = make(map[int]int, len(st.trials))
+	for i := range st.trials {
+		st.byID[st.trials[i].ID] = i
+	}
+}
+
+// persist atomically rewrites the whole log: header first, then every
+// completed trial in ID order. One trial per line keeps the file humanly
+// greppable; the atomic whole-file rewrite keeps it uncorruptible — a
+// crash leaves either the previous log or the new one, never a torn line.
+func (st *Study) persist() error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	h := st.header
+	if err := enc.Encode(logRecord{Study: &h}); err != nil {
+		return err
+	}
+	for i := range st.trials {
+		if err := enc.Encode(logRecord{Trial: &st.trials[i]}); err != nil {
+			return err
+		}
+	}
+	return atomicio.WriteFile(st.logPath(), buf.Bytes(), 0o644)
+}
+
+// Record reports one pending trial's outcome. It is handed to evaluators
+// as the RecordFunc; the study persists the updated log before returning,
+// so every completed trial survives a crash.
+func (st *Study) Record(id int, sum report.Summary, evalErr error) {
+	p, ok := st.pending[id]
+	if !ok {
+		if st.persistErr == nil {
+			st.persistErr = fmt.Errorf("dse: evaluator recorded unknown trial %d", id)
+		}
+		return
+	}
+	delete(st.pending, id)
+	st.recordTrial(p, sum, evalErr)
+}
+
+func (st *Study) recordTrial(p Pending, sum report.Summary, evalErr error) {
+	t := Trial{
+		ID:     p.ID,
+		Point:  append(Point(nil), p.Point...),
+		Scale:  p.Scale,
+		Params: p.Params,
+	}
+	if evalErr != nil {
+		t.Error = evalErr.Error()
+	} else {
+		o := ObjectivesOf(sum)
+		t.Objectives = &o
+	}
+	st.trials = append(st.trials, t)
+	st.reindex()
+	st.fresh++
+	if st.dir != "" {
+		if err := st.persist(); err != nil && st.persistErr == nil {
+			st.persistErr = err
+		}
+	}
+	if st.OnTrialDone != nil {
+		st.OnTrialDone(st.fresh)
+	}
+}
+
+// ObjectivesOf extracts the study's three objectives from a trial summary.
+//
+// The delivered-loss fraction is computed in flit units so it covers both
+// failure modes the stack has: end-to-end packet drops (watchdog kills,
+// unreachable destinations) and wire-level flit losses the retransmission
+// protocol absorbed (CRC discards, flits lost to a hard-down link). Dropped
+// packets are charged at the run's mean delivered packet size. With uniform
+// packet sizes and no wire loss this reduces exactly to the packet-level
+// Dropped/(Delivered+Dropped); under the sustained-BER scenario — where the
+// links replay every corrupted flit and end-to-end drops are structurally
+// zero — it is the corruption burden the loss-aware policies exist to
+// contain.
+func ObjectivesOf(sum report.Summary) Objectives {
+	o := Objectives{
+		MeanLatencyCycles: sum.MeanLatency,
+		EnergyJ:           sum.EnergyJ,
+	}
+	lost := 0.0
+	if sum.Reliability != nil {
+		lost += float64(sum.Reliability.CrcDrops + sum.Reliability.LostToDown)
+	}
+	delivered := float64(sum.DeliveredFlits)
+	if delivered == 0 {
+		// Summaries predating the flit counter (or packet-only sources):
+		// fall back to packet units.
+		delivered = float64(sum.Delivered)
+	}
+	if sum.Dropped > 0 && sum.Delivered > 0 {
+		lost += float64(sum.Dropped) * delivered / float64(sum.Delivered)
+	}
+	if total := delivered + lost; total > 0 {
+		o.LossFrac = lost / total
+	}
+	return o
+}
+
+// Run drives the search to completion: generation by generation, cached
+// trials are replayed from the log, the rest go to eval, and the sampler
+// observes every outcome in trial-ID order (so the proposal stream never
+// depends on evaluation scheduling). When the study has a directory, the
+// final frontier JSON and scatter plots are written there too.
+func (st *Study) Run(eval EvalFunc) (*Frontier, error) {
+	nextID := 0
+	for {
+		batch := st.sampler.NextBatch()
+		if len(batch) == 0 {
+			break
+		}
+		ids := make([]int, 0, len(batch))
+		var todo []Pending
+		for _, prop := range batch {
+			id := nextID
+			nextID++
+			ids = append(ids, id)
+			p := Pending{
+				ID:     id,
+				Point:  append(Point(nil), prop.Point...),
+				Scale:  prop.Scale,
+				Params: st.space.ParamsFor(prop.Point),
+			}
+			if i, ok := st.byID[id]; ok {
+				// Already in the log: verify the replayed proposal is the
+				// trial the log recorded, then reuse it.
+				if st.space.Key(st.trials[i].Point, st.trials[i].Scale) != st.space.Key(prop.Point, prop.Scale) {
+					return nil, fmt.Errorf("dse: logged trial %d does not match the replayed proposal; the study log belongs to different inputs", id)
+				}
+				st.cached++
+				continue
+			}
+			sc, err := st.space.Materialize(prop.Point, prop.Scale)
+			if err != nil {
+				// A combination two dims only reach together (e.g. a ladder
+				// min above a ladder max) fails here; log it as a failed
+				// trial so the sampler learns the region is infeasible.
+				st.recordTrial(p, report.Summary{}, err)
+				continue
+			}
+			p.Scenario = sc
+			st.pending[id] = p
+			todo = append(todo, p)
+		}
+		if len(todo) > 0 {
+			eval(todo, st.Record)
+		}
+		if st.persistErr != nil {
+			return nil, st.persistErr
+		}
+		for _, id := range ids {
+			i, ok := st.byID[id]
+			if !ok {
+				return nil, fmt.Errorf("dse: evaluator never recorded trial %d", id)
+			}
+			st.sampler.Observe(st.trials[i])
+		}
+	}
+	fr := st.Frontier()
+	if st.dir != "" {
+		js, err := fr.JSON()
+		if err != nil {
+			return nil, err
+		}
+		if err := atomicio.WriteFile(st.frontierPath(), js, 0o644); err != nil {
+			return nil, err
+		}
+		if err := st.writePlots(fr); err != nil {
+			return nil, err
+		}
+	}
+	return fr, nil
+}
+
+// FrontierPoint is one non-dominated trial.
+type FrontierPoint struct {
+	Trial      int           `json:"trial"`
+	Params     report.Params `json:"params"`
+	Objectives Objectives    `json:"objectives"`
+}
+
+// Frontier is the study outcome: the Pareto-optimal trials over (mean
+// latency, energy, loss), plus the normalized hypervolume indicator of
+// the full evaluated set — the scalar that lets two samplers over the
+// same space be compared.
+type Frontier struct {
+	Trials      int             `json:"trials"`
+	Points      []FrontierPoint `json:"points"`
+	Hypervolume float64         `json:"hypervolume"`
+}
+
+// JSON renders the frontier deterministically (params maps marshal with
+// sorted keys), newline-terminated — the bytes CI goldens diff against.
+func (f *Frontier) JSON() ([]byte, error) {
+	js, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(js, '\n'), nil
+}
+
+// Frontier extracts the Pareto front over all successful full-scale
+// trials. Short-run halving rungs are triage, not evidence, so only
+// trials at scale 1 are eligible.
+func (st *Study) Frontier() *Frontier {
+	var full []Trial
+	for _, t := range st.trials {
+		if t.Objectives != nil && t.Scale >= 1 {
+			full = append(full, t)
+		}
+	}
+	vecs := make([][3]float64, len(full))
+	for i, t := range full {
+		vecs[i] = t.Objectives.vec()
+	}
+	fr := &Frontier{Trials: len(full), Hypervolume: NormalizedHypervolume(vecs)}
+	for _, i := range ParetoFront(vecs) {
+		fr.Points = append(fr.Points, FrontierPoint{
+			Trial:      full[i].ID,
+			Params:     full[i].Params,
+			Objectives: *full[i].Objectives,
+		})
+	}
+	sort.Slice(fr.Points, func(a, b int) bool {
+		pa, pb := fr.Points[a].Objectives.vec(), fr.Points[b].Objectives.vec()
+		for k := 0; k < 3; k++ {
+			if pa[k] != pb[k] {
+				return pa[k] < pb[k]
+			}
+		}
+		return fr.Points[a].Trial < fr.Points[b].Trial
+	})
+	return fr
+}
+
+// writePlots renders the two frontier scatter charts: latency-vs-energy
+// and latency-vs-loss, each showing every full-scale trial with the
+// frontier overlaid.
+func (st *Study) writePlots(fr *Frontier) error {
+	onFront := make(map[int]bool, len(fr.Points))
+	for _, p := range fr.Points {
+		onFront[p.Trial] = true
+	}
+	type axis struct {
+		file, xlabel string
+		x            func(Objectives) float64
+	}
+	axes := []axis{
+		{"frontier-latency-energy.svg", "link energy (J)", func(o Objectives) float64 { return o.EnergyJ }},
+		{"frontier-latency-loss.svg", "delivered-loss fraction", func(o Objectives) float64 { return o.LossFrac }},
+	}
+	for _, ax := range axes {
+		ch := plot.Chart{
+			Title:  "DSE frontier: " + st.header.Sampler,
+			XLabel: ax.xlabel,
+			YLabel: "mean latency (cycles)",
+		}
+		var tx, ty, fx, fy []float64
+		for _, t := range st.trials {
+			if t.Objectives == nil || t.Scale < 1 {
+				continue
+			}
+			if onFront[t.ID] {
+				fx = append(fx, ax.x(*t.Objectives))
+				fy = append(fy, t.Objectives.MeanLatencyCycles)
+			} else {
+				tx = append(tx, ax.x(*t.Objectives))
+				ty = append(ty, t.Objectives.MeanLatencyCycles)
+			}
+		}
+		if len(tx)+len(fx) == 0 {
+			continue // nothing to plot; an all-failed study still gets its frontier.json
+		}
+		ch.Series = append(ch.Series,
+			plot.Series{Name: "dominated trials", X: tx, Y: ty, Scatter: true},
+			plot.Series{Name: "Pareto frontier", X: fx, Y: fy, Scatter: true})
+		var buf bytes.Buffer
+		if err := ch.WriteSVG(&buf); err != nil {
+			return err
+		}
+		if err := atomicio.WriteFile(filepath.Join(st.dir, ax.file), buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

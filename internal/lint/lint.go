@@ -238,6 +238,7 @@ var simCorePaths = map[string]bool{
 	"repro/internal/telemetry": true,
 	"repro/internal/stats":     true,
 	"repro/internal/shardrun":  true,
+	"repro/internal/dse":       true,
 }
 
 // jsonContractPaths are the packages whose JSON output forms the -json

@@ -38,6 +38,14 @@ func TestMailboxOrder(t *testing.T) {
 	linttest.Run(t, testdata(t, "mailboxorder"), "repro/internal/network", lint.MailboxOrderAnalyzer)
 }
 
+// TestDSESimCore: the design-space exploration package is sim-core — a
+// deterministic function of (study seed, space) — so the determinism,
+// maprange, and rngstream rules all apply to it.
+func TestDSESimCore(t *testing.T) {
+	linttest.Run(t, testdata(t, "dse"), "repro/internal/dse",
+		lint.DeterminismAnalyzer, lint.MapRangeAnalyzer, lint.RNGStreamAnalyzer)
+}
+
 // TestShardRunGoAllowlist: internal/shardrun may start goroutines (the
 // sharded core's sanctioned concurrency substrate), but the rest of the
 // determinism rule — clocks, env, global rand — still applies there.

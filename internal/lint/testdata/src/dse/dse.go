@@ -1,0 +1,71 @@
+// Package dsetest exercises the sim-core rules over the design-space
+// exploration package's idioms: a search driver must be a deterministic
+// function of (study seed, space) — randomness only via the split-stream
+// constructor, no wall clocks or environment, and no map-order-dependent
+// trial bookkeeping. linttest loads it as repro/internal/dse.
+package dsetest
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Good: sampler randomness derives from the study seed on the dedicated
+// DSE stream, so search draws never perturb trial simulation draws.
+func goodSamplerRNG(seed uint64) float64 {
+	r := sim.NewStream(seed, sim.StreamDSE)
+	return r.Float64()
+}
+
+// Good: the trial index is rebuilt with sorted IDs, never ranged in map
+// order, so resume replay is byte-stable.
+func goodTrialIndex(byID map[int]string) []string {
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	names := make([]string, 0, len(ids))
+	for _, id := range ids {
+		names = append(names, byID[id])
+	}
+	return names
+}
+
+// Bad: an ad-hoc stdlib generator would make proposal streams depend on
+// something other than the study seed.
+func badSamplerRNG() float64 {
+	r := rand.New(rand.NewSource(42)) // want "rngstream: math/rand.New" "rngstream: math/rand.NewSource"
+	return r.Float64()
+}
+
+// Bad: wall-clock trial stamps diverge between a run and its resume.
+func badTrialStamp() int64 {
+	return time.Now().UnixNano() // want "determinism: time.Now"
+}
+
+// Bad: environment reads make the frontier depend on the invoking shell.
+func badEnvKnob() string {
+	return os.Getenv("DSE_TRIALS") // want "determinism: os.Getenv"
+}
+
+// Bad: evaluating trials on raw goroutines loses the deterministic
+// completion ordering the fleet's serialized callback provides.
+func badParallelEval(trials []int) {
+	for range trials {
+		go func() {}() // want "determinism: goroutine"
+	}
+}
+
+// Bad: frontier accumulation in map order is order-sensitive.
+func badFrontierSum(hv map[int]float64) float64 {
+	total := 0.0
+	for _, v := range hv { // want "maprange: range over map"
+		total += v
+	}
+	return total
+}

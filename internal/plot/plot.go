@@ -16,6 +16,10 @@ type Series struct {
 	Name string
 	X    []float64
 	Y    []float64
+	// Scatter renders unconnected markers instead of a polyline — for
+	// point clouds (trials, frontiers) where connection order is
+	// meaningless.
+	Scatter bool
 }
 
 // Chart is a 2-D line chart.
@@ -148,13 +152,26 @@ func (c *Chart) WriteSVG(w io.Writer) error {
 		if len(pts) == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.6" points="%s"/>`+"\n",
-			color, strings.Join(pts, " "))
+		if s.Scatter {
+			for _, p := range pts {
+				xy := strings.SplitN(p, ",", 2)
+				fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3.2" fill="%s" fill-opacity="0.75"/>`+"\n",
+					xy[0], xy[1], color)
+			}
+		} else {
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.6" points="%s"/>`+"\n",
+				color, strings.Join(pts, " "))
+		}
 		// Legend entry.
 		lx := marginLeft + plotW - 180
 		ly := marginTop + 14 + float64(si)*16
-		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
-			lx, ly-4, lx+18, ly-4, color)
+		if s.Scatter {
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="3.2" fill="%s"/>`+"\n",
+				lx+9, ly-4, color)
+		} else {
+			fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+				lx, ly-4, lx+18, ly-4, color)
+		}
 		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
 			lx+24, ly, escape(s.Name))
 	}

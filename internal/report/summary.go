@@ -10,6 +10,17 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Params echoes the resolved knob values a run was configured with, so a
+// summary — and any design-space-exploration study log built from
+// summaries — is self-describing without the scenario file that produced
+// it. Numeric knobs (window, thresholds, gains, ladder rates) go in
+// Values; categorical knobs (policy kind, routing) go in Labels. Both maps
+// marshal with sorted keys, so the JSON form is deterministic.
+type Params struct {
+	Values map[string]float64 `json:"values,omitempty"`
+	Labels map[string]string  `json:"labels,omitempty"`
+}
+
 // Summary is a machine-readable digest of one experiment run: the headline
 // performance numbers plus, when the run exercised the fault or recovery
 // layers, their counter blocks. It is what `optosim -json` emits.
@@ -18,8 +29,19 @@ type Summary struct {
 	Seed        uint64  `json:"seed"`
 	MeanLatency float64 `json:"mean_latency_cycles,omitempty"`
 	NormPower   float64 `json:"norm_power,omitempty"`
-	Delivered   int64   `json:"delivered,omitempty"`
-	Dropped     int64   `json:"dropped,omitempty"`
+	// EnergyJ is the absolute link energy over the measured window — the
+	// quantity NormPower normalises, carried raw so multi-objective
+	// studies can minimise it directly.
+	EnergyJ   float64 `json:"energy_j,omitempty"`
+	Delivered int64   `json:"delivered,omitempty"`
+	Dropped   int64   `json:"dropped,omitempty"`
+	// DeliveredFlits counts ejected flits — the flit-level denominator for
+	// delivered-loss fractions that fold in wire-level (per-flit) losses.
+	DeliveredFlits int64 `json:"delivered_flits,omitempty"`
+
+	// Params echoes the resolved knob values the run was configured with
+	// (nil outside parameterised runs such as DSE trials).
+	Params *Params `json:"params,omitempty"`
 
 	// LevelHistogram is the end-of-run count of links at each electrical
 	// bit-rate level (index = level), and OffLinks the count switched off —

@@ -16,8 +16,14 @@ func sampleSummary() Summary {
 		Seed:        42,
 		MeanLatency: 123.456,
 		NormPower:   0.61,
+		EnergyJ:     0.00042,
 		Delivered:   10_000,
 		Dropped:     7,
+
+		Params: &Params{
+			Values: map[string]float64{"window": 1000, "avg_threshold": 0.5, "kp": 1.5},
+			Labels: map[string]string{"policy_kind": "rules"},
+		},
 
 		LevelHistogram: []int64{10, 0, 2, 5, 30, 177},
 		OffLinks:       4,
@@ -94,7 +100,8 @@ func TestSummaryRoundTrip(t *testing.T) {
 	}
 	for _, want := range []string{"reliability", "recovery", "watchdog_drops", "unreachable_drops", "crc_drops",
 		"level_histogram", "off_links", "time_at_level", "telemetry", "sample_every", "latency_p99",
-		"policy", "loss_derates", "storm_backoffs", "gradual_ups", "oracle_energy_j", "regret_j", "regret_frac"} {
+		"policy", "loss_derates", "storm_backoffs", "gradual_ups", "oracle_energy_j", "regret_j", "regret_frac",
+		"energy_j", "params", "values", "labels", "avg_threshold", "policy_kind"} {
 		if !strings.Contains(string(b), `"`+want+`"`) {
 			t.Errorf("JSON missing %q field:\n%s", want, b)
 		}
@@ -130,5 +137,39 @@ func TestParseSummaryRejectsUnknownFields(t *testing.T) {
 	}
 	if _, err := ParseSummary([]byte(`{"experiment":"x","seed":1,"policy":{"kind":"dvs","regret_pct":3}}`)); err == nil {
 		t.Error("unknown policy field accepted")
+	}
+	if _, err := ParseSummary([]byte(`{"experiment":"x","seed":1,"params":{"values":{"window":500},"bogus":{}}}`)); err == nil {
+		t.Error("unknown params field accepted")
+	}
+	// Knob names are open by design — maps, not struct fields — so a new
+	// knob is not schema drift.
+	if _, err := ParseSummary([]byte(`{"experiment":"x","seed":1,"params":{"values":{"brand_new_knob":1}}}`)); err != nil {
+		t.Errorf("new knob name rejected: %v", err)
+	}
+}
+
+// TestParamsDeterministicJSON: the params echo must marshal byte-stably —
+// map keys are sorted by encoding/json — because study logs and frontier
+// files are diffed byte-for-byte across runs.
+func TestParamsDeterministicJSON(t *testing.T) {
+	s := Summary{Experiment: "t", Seed: 1, Params: &Params{
+		Values: map[string]float64{"b": 2, "a": 1, "c": 3},
+		Labels: map[string]string{"z": "x", "y": "w"},
+	}}
+	first, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		again, err := s.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("params JSON unstable:\n%s\nvs\n%s", first, again)
+		}
+	}
+	if !strings.Contains(string(first), `"a": 1`) {
+		t.Fatalf("values not rendered: %s", first)
 	}
 }

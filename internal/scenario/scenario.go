@@ -83,6 +83,11 @@ type Fault struct {
 	BERFloor float64 `json:"berFloor"`
 	// RelockFailProb is the CDR relock failure probability on rate switches.
 	RelockFailProb float64 `json:"relockFailProb"`
+	// ExtraPathLossDB erodes every link's optical margin so the
+	// margin-derived BER becomes rate-dependent (higher levels visibly
+	// lossier) instead of vanishing under the default ~23 dB of slack.
+	// Meaningful together with BERScale.
+	ExtraPathLossDB float64 `json:"extraPathLossDB"`
 	// LinkFailures schedules hard failure/repair windows.
 	LinkFailures []LinkFailure `json:"linkFailures"`
 	// Recovery enables fault-aware routing, the escape network, and the
@@ -304,6 +309,10 @@ func (s *Scenario) NetworkConfig() (network.Config, error) {
 
 	cfg.Shards = sys.Shards
 	ft := s.Fault
+	if ft.ExtraPathLossDB < 0 {
+		return cfg, fmt.Errorf("scenario: negative extraPathLossDB %g", ft.ExtraPathLossDB)
+	}
+	cfg.Link.PathLossDB += ft.ExtraPathLossDB
 	cfg.Fault.BERScale = ft.BERScale
 	cfg.Fault.BERFloor = ft.BERFloor
 	cfg.Fault.RelockFailProb = ft.RelockFailProb
@@ -316,6 +325,27 @@ func (s *Scenario) NetworkConfig() (network.Config, error) {
 		cfg.Recovery = network.RecoveryConfig{Enabled: true}
 	}
 	return cfg, cfg.Validate()
+}
+
+// Validate resolves every section of the scenario — system, workload,
+// fault, policy, run — without building a network, so a malformed file
+// fails upfront (before a supervisor or search fleet spawns any worker
+// subprocess) instead of surfacing from inside a crashed worker.
+func (s *Scenario) Validate() error {
+	cfg, err := s.NetworkConfig()
+	if err != nil {
+		return err
+	}
+	if _, err := s.Generator(cfg); err != nil {
+		return err
+	}
+	if s.Run.Warmup < 0 || s.Run.Measure < 0 {
+		return fmt.Errorf("scenario: negative run window (warmup %d, measure %d)", s.Run.Warmup, s.Run.Measure)
+	}
+	if s.Run.Series && s.Run.Bucket < 0 {
+		return fmt.Errorf("scenario: negative series bucket %d", s.Run.Bucket)
+	}
+	return nil
 }
 
 // NewSystem resolves the scenario into a runnable system plus its warmup

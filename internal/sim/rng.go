@@ -108,6 +108,12 @@ const (
 	// StreamRouting is reserved for randomized routing decisions (none of
 	// the current routing functions draw, but any future one must use it).
 	StreamRouting uint64 = 2
+	// StreamDSE feeds the design-space-exploration samplers (random, TPE,
+	// successive halving). It is outside the per-run streams on purpose:
+	// the search draws are a function of the *study* seed, so the trials a
+	// study proposes never depend on — and never perturb — any single
+	// trial's simulation draws.
+	StreamDSE uint64 = 3
 )
 
 // NewStream returns a generator for the given (seed, stream) pair. Distinct
