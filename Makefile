@@ -4,7 +4,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race shuffle lint vet staticcheck optolint simdebug ci bench-snapshot dse-smoke
+.PHONY: all build test race shuffle lint vet staticcheck optolint lint-mutation simdebug ci bench-snapshot dse-smoke
 
 all: build test
 
@@ -24,8 +24,9 @@ shuffle:
 
 # lint is the blocking static-analysis bundle: vet, staticcheck (skipped
 # with a warning when the binary is absent — the toolchain cannot fetch it
-# offline), and the project's own optolint analyzers.
-lint: vet staticcheck optolint
+# offline), the project's own optolint analyzers over both build flavours,
+# and the mutation harness proving each completeness analyzer fires.
+lint: vet staticcheck optolint lint-mutation
 
 vet:
 	$(GO) vet ./...
@@ -37,8 +38,17 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
+# optolint runs the suite over the default build and the simdebug build:
+# debug-only sources carry sim-core obligations too.
 optolint:
 	$(GO) run ./cmd/optolint ./...
+	$(GO) run ./cmd/optolint -tags simdebug ./...
+
+# lint-mutation re-proves the completeness analyzers can still fire: each
+# case mutates a clean fixture (dropped export field, unregistered handler
+# kind, unmerged counter, unstaged cross-shard write) and requires a report.
+lint-mutation:
+	$(GO) test ./internal/lint -run TestMutations -count=1
 
 # simdebug builds and tests with the runtime assertion layer compiled in:
 # wheel monotonicity and skip legality, router credit conservation, the

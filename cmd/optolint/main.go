@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/optolint [packages...]   # default ./...
+//	go run ./cmd/optolint [flags] [packages...]   # default ./...
 //
 // It is a standalone multichecker rather than a `go vet -vettool` because the
 // vet unitchecker protocol lives in golang.org/x/tools, which this module
@@ -15,34 +15,66 @@
 //
 //	//optolint:allow <rule> <reason>
 //
-// Run with -rules to list the rules.
+// Flags:
+//
+//	-rules          list the analyzers and exit
+//	-tags <list>    comma-separated build tags (e.g. simdebug, so the
+//	                assertion-build sources are analyzed too)
+//	-json           emit findings as a JSON array (file/line/col/rule/message,
+//	                sorted by position) instead of text
+//	-format github  emit findings as GitHub Actions workflow commands, so a
+//	                CI run annotates the offending lines in the diff view
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
 
+// jsonFinding is the machine-readable form of one diagnostic. Paths are
+// module-relative so the output is stable across checkouts.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	tags := flag.String("tags", "", "comma-separated build tags to analyze under")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	format := flag.String("format", "text", "output format: text, github")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
 	if *rules {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *format != "text" && *format != "github" {
+		fmt.Fprintf(os.Stderr, "optolint: unknown -format %q (want text or github)\n", *format)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load("", patterns...)
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+	pkgs, err := lint.LoadTags("", tagList, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "optolint:", err)
 		os.Exit(2)
@@ -52,8 +84,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optolint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	cwd, _ := os.Getwd()
+	rel := func(path string) string {
+		if cwd != "" {
+			if r, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(r, "..") {
+				return filepath.ToSlash(r)
+			}
+		}
+		return filepath.ToSlash(path)
+	}
+
+	switch {
+	case *asJSON:
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:    rel(d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Rule:    d.Rule,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "optolint:", err)
+			os.Exit(2)
+		}
+	case *format == "github":
+		for _, d := range diags {
+			// Workflow command: newlines are %0A-escaped per the protocol.
+			msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(d.Message)
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=optolint %s::[%s] %s\n",
+				rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Rule, msg)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "optolint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -11,9 +11,9 @@ func TestDominates(t *testing.T) {
 		b    [3]float64
 		want bool
 	}{
-		{[3]float64{2, 2, 3}, true},   // better on one axis, equal elsewhere
-		{[3]float64{2, 3, 4}, true},   // better everywhere
-		{[3]float64{1, 2, 3}, false},  // identical: no strict improvement
+		{[3]float64{2, 2, 3}, true},    // better on one axis, equal elsewhere
+		{[3]float64{2, 3, 4}, true},    // better everywhere
+		{[3]float64{1, 2, 3}, false},   // identical: no strict improvement
 		{[3]float64{0.5, 9, 9}, false}, // worse on one axis
 	}
 	for _, c := range cases {

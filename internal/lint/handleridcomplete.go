@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// HandlerKindsFact records the handler-kind constant namespace a package
+// declares (sim's HChanDeliver…HPolicyTimer), for analyzers running on the
+// packages that dispatch over it.
+type HandlerKindsFact struct {
+	// Kinds maps constant name to its value.
+	Kinds map[string]uint64
+}
+
+// AFact marks HandlerKindsFact as a lint fact.
+func (*HandlerKindsFact) AFact() {}
+
+// HandlerResolversFact records, per receiver type, which handler kinds its
+// ResolveHandler method has arms for — consumed by the packages whose root
+// dispatch delegates to those resolvers.
+type HandlerResolversFact struct {
+	// ByType maps receiver type name to its covered kind-constant names.
+	ByType map[string][]string
+}
+
+// AFact marks HandlerResolversFact as a lint fact.
+func (*HandlerResolversFact) AFact() {}
+
+// HandlerIDCompleteAnalyzer closes the loop on the checkpoint handler
+// descriptor scheme (sim.HandlerID): wheel entries are serialized as 64-bit
+// descriptors whose kind byte is resolved back to an event closure on
+// restore, so a kind constant without a dispatch arm is a checkpoint that
+// refuses to resume (or worse, silently drops an event), and an arm
+// spelled as a raw integer drifts the moment the constant block is
+// renumbered. The analyzer exports the declared kind namespace as a fact
+// from the package that declares it, records each ResolveHandler method's
+// covered kinds as a fact from its package, and checks on the dispatching
+// package that (1) every arm of a HandlerKind switch names a declared kind
+// constant, (2) a root dispatcher — a function passed as the resolver to a
+// Wheel RestoreState — covers every declared kind, and (3) every arm that
+// delegates to an X.ResolveHandler only routes kinds X actually resolves.
+var HandlerIDCompleteAnalyzer = &Analyzer{
+	Name: "handleridcomplete",
+	Doc: "every sim.HandlerID kind constant must have an arm in the " +
+		"checkpoint dispatch and every arm must name a declared kind, " +
+		"including across delegation to subsystem ResolveHandler methods",
+	FactTypes: []Fact{(*HandlerKindsFact)(nil), (*HandlerResolversFact)(nil)},
+	Run:       runHandlerIDComplete,
+}
+
+// kindConstRe matches the handler-kind constant naming convention.
+var kindConstRe = regexp.MustCompile(`^H[A-Z]`)
+
+func runHandlerIDComplete(pass *Pass) error {
+	local := localHandlerKinds(pass)
+	if len(local) > 0 {
+		pass.ExportPackageFact(&HandlerKindsFact{Kinds: local})
+	}
+
+	// Pass 1 over the package: find every HandlerKind switch, classify it,
+	// and accumulate this package's own resolver coverage (so same-package
+	// delegation — and the exported fact — see the full picture before any
+	// check fires).
+	type kindSwitch struct {
+		sw       *ast.SwitchStmt
+		fn       *ast.FuncDecl
+		kindsPkg string
+	}
+	var switches []kindSwitch
+	localResolvers := make(map[string]map[string]bool)
+	rootFns := make(map[*ast.FuncDecl]bool)
+	funcDecls := make(map[*types.Func]*ast.FuncDecl)
+	info := pass.TypesInfo
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				funcDecls[fn] = fd
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SwitchStmt:
+					if pkgPath, ok := handlerKindTag(pass, n.Tag); ok {
+						switches = append(switches, kindSwitch{sw: n, fn: fd, kindsPkg: pkgPath})
+					}
+				case *ast.CallExpr:
+					// n.wheel.RestoreState(st, n.resolveHandler) marks
+					// resolveHandler as a root dispatcher.
+					if root := wheelRestoreResolver(pass, n, funcDecls); root != nil {
+						rootFns[root] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, ks := range switches {
+		if ks.fn.Name.Name != "ResolveHandler" || ks.fn.Recv == nil || len(ks.fn.Recv.List) == 0 {
+			continue
+		}
+		recv := namedOf(recvType(pass, ks.fn))
+		if recv == nil {
+			continue
+		}
+		set := localResolvers[recv.Obj().Name()]
+		if set == nil {
+			set = make(map[string]bool)
+			localResolvers[recv.Obj().Name()] = set
+		}
+		for _, name := range switchKindNames(pass, ks.sw) {
+			set[name] = true
+		}
+	}
+	if len(localResolvers) > 0 {
+		fact := &HandlerResolversFact{ByType: make(map[string][]string, len(localResolvers))}
+		for name, set := range localResolvers {
+			var kinds []string
+			for k := range set {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			fact.ByType[name] = kinds
+		}
+		pass.ExportPackageFact(fact)
+	}
+
+	// kindsFor resolves the declared kind namespace for the package the
+	// switch's HandlerKind function comes from; nil means unknown (partial
+	// load) and the dependent checks are skipped rather than guessed.
+	kindsFor := func(path string) map[string]uint64 {
+		if path == pass.Path {
+			return local
+		}
+		var fact HandlerKindsFact
+		if pass.ImportPackageFact(path, &fact) {
+			return fact.Kinds
+		}
+		return nil
+	}
+	resolversFor := func(path string) map[string][]string {
+		if path == pass.Path {
+			out := make(map[string][]string, len(localResolvers))
+			for name, set := range localResolvers {
+				for k := range set {
+					out[name] = append(out[name], k)
+				}
+			}
+			return out
+		}
+		var fact HandlerResolversFact
+		if pass.ImportPackageFact(path, &fact) {
+			return fact.ByType
+		}
+		return nil
+	}
+
+	// Pass 2: report.
+	for _, ks := range switches {
+		declared := kindsFor(ks.kindsPkg)
+		covered := make(map[string]bool)
+		for _, cc := range caseClauses(ks.sw) {
+			var clauseKinds []string
+			for _, expr := range cc.List {
+				name, ok := kindConstName(pass, expr)
+				if !ok {
+					pass.Reportf(expr.Pos(), "HandlerKind switch arm must name a declared H* kind constant, not a literal or computed value: raw kinds drift when the constant block is renumbered")
+					continue
+				}
+				if declared != nil {
+					if _, known := declared[name]; !known {
+						pass.Reportf(expr.Pos(), "HandlerKind switch arm %s is not a declared handler kind in %s", name, ks.kindsPkg)
+						continue
+					}
+				}
+				clauseKinds = append(clauseKinds, name)
+				covered[name] = true
+			}
+			checkDelegation(pass, cc, clauseKinds, resolversFor)
+		}
+		if rootFns[ks.fn] && declared != nil {
+			var missing []string
+			for name := range declared {
+				if !covered[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(ks.sw.Pos(), "checkpoint dispatch %s has no arm for handler kind(s) %s: a snapshot holding such an event cannot resume",
+					ks.fn.Name.Name, strings.Join(missing, ", "))
+			}
+		}
+	}
+	return nil
+}
+
+// localHandlerKinds collects this package's handler-kind constants:
+// package-level H*-named constants with a uint8-underlying type.
+func localHandlerKinds(pass *Pass) map[string]uint64 {
+	kinds := make(map[string]uint64)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !kindConstRe.MatchString(name) {
+			continue
+		}
+		b, ok := c.Type().Underlying().(*types.Basic)
+		if !ok || b.Kind() != types.Uint8 {
+			continue
+		}
+		if v, exact := constant.Uint64Val(c.Val()); exact {
+			kinds[name] = v
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+	return kinds
+}
+
+// handlerKindTag reports whether a switch tag is a call to a function named
+// HandlerKind, returning the import path of the package declaring it.
+func handlerKindTag(pass *Pass, tag ast.Expr) (string, bool) {
+	call, ok := tag.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "HandlerKind" || fn.Pkg() == nil {
+		return "", false
+	}
+	return fn.Pkg().Path(), true
+}
+
+// wheelRestoreResolver recognises `<wheel>.RestoreState(state, resolver)`
+// and returns the local declaration of the resolver function, if any.
+func wheelRestoreResolver(pass *Pass, call *ast.CallExpr, funcDecls map[*types.Func]*ast.FuncDecl) *ast.FuncDecl {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "RestoreState" || len(call.Args) < 2 {
+		return nil
+	}
+	recv := namedOf(pass.TypesInfo.Types[sel.X].Type)
+	if recv == nil || recv.Obj().Name() != "Wheel" {
+		return nil
+	}
+	var obj types.Object
+	switch arg := call.Args[len(call.Args)-1].(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[arg]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[arg.Sel]
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		return funcDecls[fn]
+	}
+	return nil
+}
+
+// recvType returns the type of fn's receiver.
+func recvType(pass *Pass, fn *ast.FuncDecl) types.Type {
+	recv := fn.Recv.List[0]
+	if tv, ok := pass.TypesInfo.Types[recv.Type]; ok {
+		return tv.Type
+	}
+	if len(recv.Names) > 0 {
+		if obj := pass.TypesInfo.Defs[recv.Names[0]]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// switchKindNames returns the kind-constant names a switch's arms resolve
+// to (unresolvable arms are reported separately, in pass 2).
+func switchKindNames(pass *Pass, sw *ast.SwitchStmt) []string {
+	var out []string
+	for _, cc := range caseClauses(sw) {
+		for _, expr := range cc.List {
+			if name, ok := kindConstName(pass, expr); ok {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// caseClauses returns a switch's case clauses, skipping default.
+func caseClauses(sw *ast.SwitchStmt) []*ast.CaseClause {
+	var out []*ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		if cc, ok := stmt.(*ast.CaseClause); ok && cc.List != nil {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// kindConstName resolves a case expression to the name of an H* constant.
+func kindConstName(pass *Pass, expr ast.Expr) (string, bool) {
+	var obj types.Object
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	}
+	c, ok := obj.(*types.Const)
+	if !ok || !kindConstRe.MatchString(c.Name()) {
+		return "", false
+	}
+	return c.Name(), true
+}
+
+// checkDelegation verifies that a clause delegating to X.ResolveHandler
+// only routes kinds X's resolver covers.
+func checkDelegation(pass *Pass, cc *ast.CaseClause, clauseKinds []string, resolversFor func(string) map[string][]string) {
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "ResolveHandler" {
+				return true
+			}
+			recv := namedOf(pass.TypesInfo.Types[sel.X].Type)
+			if recv == nil || recv.Obj().Pkg() == nil {
+				return true
+			}
+			byType := resolversFor(recv.Obj().Pkg().Path())
+			if byType == nil {
+				return true // resolver package not loaded; skip, don't guess
+			}
+			kinds, ok := byType[recv.Obj().Name()]
+			if !ok {
+				return true
+			}
+			has := make(map[string]bool, len(kinds))
+			for _, k := range kinds {
+				has[k] = true
+			}
+			for _, k := range clauseKinds {
+				if !has[k] {
+					pass.Reportf(call.Pos(), "kind %s is dispatched to %s.ResolveHandler, which has no arm for it: the event would be dropped on restore", k, recv.Obj().Name())
+				}
+			}
+			return true
+		})
+	}
+}

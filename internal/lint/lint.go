@@ -1,26 +1,41 @@
 // Package lint is optolint's analysis framework: a small, dependency-free
 // reimplementation of the golang.org/x/tools/go/analysis surface (Analyzer,
-// Pass, Reportf) plus the //optolint:allow suppression mechanism, driven by
-// a loader built on go/parser, go/types and the standard library's source
-// importer.
+// Pass, Reportf, package Facts) plus the //optolint:allow suppression
+// mechanism, driven by a loader built on go/parser, go/types and the
+// standard library's source importer.
 //
 // The simulator's two load-bearing invariants — bit-exact determinism and
 // wheel discipline (every future state change is a sim.Wheel event, so
 // event-driven fast-forward stays legal) — are enforced by the analyzers in
 // this package:
 //
-//	determinism     no wall clocks, global math/rand, environment reads, or
-//	                goroutines inside sim-core packages
-//	maprange        no ranging over maps in sim-core unless the body is
-//	                provably order-insensitive
-//	rngstream       all randomness flows through the seeded split-stream
-//	                constructors (sim.NewStream), never ad-hoc rand.New
-//	wheeldiscipline future-cycle deadline writes must pair with a wheel
-//	                Schedule in the same function
-//	jsontags        JSON-serialized structs in report/stats/telemetry use
-//	                snake_case tags with no untagged exported fields
-//	mailboxorder    draining a shard mailbox requires a sort first, so the
-//	                merge order never depends on the shard partition
+//	determinism       no wall clocks, global math/rand, environment reads, or
+//	                  goroutines inside sim-core packages
+//	maprange          no ranging over maps in sim-core unless the body is
+//	                  provably order-insensitive
+//	rngstream         all randomness flows through the seeded split-stream
+//	                  constructors (sim.NewStream), never ad-hoc rand.New
+//	wheeldiscipline   future-cycle deadline writes must pair with a wheel
+//	                  Schedule in the same function
+//	jsontags          JSON-serialized structs in report/stats/telemetry use
+//	                  snake_case tags with no untagged exported fields
+//	snapshotcomplete  every mutable field of a checkpointed struct is written
+//	                  by ExportState and read by RestoreState, or carries an
+//	                  //optolint:derived annotation naming why it is
+//	                  recomputed instead
+//	shardbarrier      shard-scope code never writes coordinator state or
+//	                  schedules through the coordinator wheel directly — all
+//	                  cross-shard effects go through staged mailboxes, and
+//	                  draining a mailbox requires a sort first
+//	mergecomplete     per-shard counters and histograms appear in the
+//	                  merge-on-read loops, so a new counter cannot silently
+//	                  report shard-0-only numbers
+//	handleridcomplete every sim.HandlerID kind constant has a resolver arm in
+//	                  the checkpoint dispatch and every resolver arm a kind
+//
+// Analyzers may export typed Facts about a package that analyzers running
+// later on importing packages consume; the loader returns packages in
+// dependency order so facts always flow downstream.
 //
 // A finding is suppressed by an annotation on the same line or the line
 // directly above:
@@ -28,7 +43,9 @@
 //	//optolint:allow <rule> <reason>
 //
 // The reason is mandatory, and an annotation that suppresses nothing is
-// itself reported — stale escape hatches do not accumulate.
+// itself reported — stale escape hatches do not accumulate. The same
+// hygiene applies to //optolint:derived: an annotation on a field that no
+// longer needs one (or one missing its reason) is a finding.
 package lint
 
 import (
@@ -36,6 +53,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -49,8 +67,26 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the rule enforces and why.
 	Doc string
+	// FactTypes lists the fact types this analyzer exports or imports, one
+	// zero value per type. An analyzer may only call ExportPackageFact /
+	// ImportPackageFact with types declared here.
+	FactTypes []Fact
 	// Run reports findings on pass via pass.Reportf.
 	Run func(pass *Pass) error
+}
+
+// Fact is a typed datum an analyzer records about a package for analyzers
+// running later on packages that import it — the stdlib-only mirror of
+// x/tools analysis.Fact. Implementations must be pointer types.
+type Fact interface {
+	AFact()
+}
+
+// factKey identifies one exported fact: which package it describes and
+// which concrete fact type it is. One fact of each type per package.
+type factKey struct {
+	path string
+	typ  reflect.Type
 }
 
 // Pass carries one package's parsed and type-checked state to an analyzer.
@@ -65,7 +101,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	report func(d Diagnostic)
+	report  func(d Diagnostic)
+	facts   map[factKey]Fact
+	derived map[annKey][]*derived
 }
 
 // Reportf records a finding at pos.
@@ -75,6 +113,59 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Rule:    p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// ExportPackageFact records f as this package's fact of f's type, replacing
+// any previous one. f's type must be declared in the analyzer's FactTypes.
+func (p *Pass) ExportPackageFact(f Fact) {
+	t := reflect.TypeOf(f)
+	if !p.declaresFact(t) {
+		panic(fmt.Sprintf("lint: %s exports undeclared fact type %s", p.Analyzer.Name, t))
+	}
+	p.facts[factKey{p.Path, t}] = f
+}
+
+// ImportPackageFact copies the fact of ptr's type recorded for the package
+// at path into ptr, reporting whether one exists. Analyzers must tolerate a
+// missing fact (partial loads, e.g. a single testdata package) by skipping
+// the dependent checks rather than guessing.
+func (p *Pass) ImportPackageFact(path string, ptr Fact) bool {
+	t := reflect.TypeOf(ptr)
+	if !p.declaresFact(t) {
+		panic(fmt.Sprintf("lint: %s imports undeclared fact type %s", p.Analyzer.Name, t))
+	}
+	f, ok := p.facts[factKey{path, t}]
+	if !ok {
+		return false
+	}
+	rv := reflect.ValueOf(ptr)
+	rv.Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+func (p *Pass) declaresFact(t reflect.Type) bool {
+	for _, ft := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(ft) == t {
+			return true
+		}
+	}
+	return false
+}
+
+// DerivedOK reports whether the declaration at pos carries a well-formed
+// //optolint:derived annotation on its line or the line directly above,
+// consuming it. Consumed annotations are exempt from the staleness check.
+func (p *Pass) DerivedOK(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, d := range p.derived[annKey{position.Filename, line}] {
+			if d.reason != "" {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Diagnostic is one finding.
@@ -89,11 +180,14 @@ func (d Diagnostic) String() string {
 }
 
 // AllowRule is the pseudo-rule under which annotation problems (missing
-// reason, suppressing nothing) are reported.
+// reason, suppressing nothing, stale derived markers) are reported.
 const AllowRule = "allowcheck"
 
 // allowRe parses "//optolint:allow <rule> <reason...>".
 var allowRe = regexp.MustCompile(`^//optolint:allow(\s+(\S+))?(\s+(.*))?$`)
+
+// derivedRe parses "//optolint:derived <reason...>".
+var derivedRe = regexp.MustCompile(`^//optolint:derived(\s+(.*))?$`)
 
 // allow is one parsed //optolint:allow annotation.
 type allow struct {
@@ -101,6 +195,22 @@ type allow struct {
 	rule   string
 	reason string
 	used   bool
+}
+
+// derived is one parsed //optolint:derived annotation: the field it marks
+// is rebuilt on restore (a cache, an index, pool linkage) rather than
+// serialized, and the reason must say from what.
+type derived struct {
+	pos    token.Position
+	reason string
+	used   bool
+}
+
+// annKey indexes annotations by (file, line) for same-line / line-above
+// suppression lookup.
+type annKey struct {
+	file string
+	line int
 }
 
 // collectAllows scans a file's comments for optolint:allow annotations.
@@ -125,17 +235,61 @@ func collectAllows(fset *token.FileSet, f *ast.File) []*allow {
 	return out
 }
 
+// collectDerived scans a file's comments for optolint:derived annotations.
+func collectDerived(fset *token.FileSet, f *ast.File) []*derived {
+	var out []*derived
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, "//optolint:derived") {
+				continue
+			}
+			m := derivedRe.FindStringSubmatch(strings.TrimRight(c.Text, " \t"))
+			if m == nil {
+				continue
+			}
+			out = append(out, &derived{
+				pos:    fset.Position(c.Pos()),
+				reason: strings.TrimSpace(m[2]),
+			})
+		}
+	}
+	return out
+}
+
 // Run executes the analyzers over the packages and returns the surviving
-// diagnostics, sorted by position. Findings matched by a well-formed
-// //optolint:allow annotation (same line or the line directly above) are
-// suppressed; malformed or unused annotations are reported under AllowRule.
+// diagnostics, sorted by position. Packages must be in dependency order
+// (as Load returns them) for cross-package facts to resolve. Findings
+// matched by a well-formed //optolint:allow annotation (same line or the
+// line directly above) are suppressed; malformed or unused annotations are
+// reported under AllowRule, as are stale //optolint:derived markers when
+// snapshotcomplete is in the suite. Diagnostics inside generated files are
+// dropped.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	facts := make(map[factKey]Fact)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
+		// Index annotations by (file, line) for suppression lookup.
+		allows := make(map[annKey][]*allow)
+		var allAllows []*allow
+		derivedAnns := make(map[annKey][]*derived)
+		var allDerived []*derived
+		for _, f := range pkg.Files {
+			for _, al := range collectAllows(pkg.Fset, f) {
+				k := annKey{al.pos.Filename, al.pos.Line}
+				allows[k] = append(allows[k], al)
+				allAllows = append(allAllows, al)
+			}
+			for _, d := range collectDerived(pkg.Fset, f) {
+				k := annKey{d.pos.Filename, d.pos.Line}
+				derivedAnns[k] = append(derivedAnns[k], d)
+				allDerived = append(allDerived, d)
+			}
+		}
+
 		var raw []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -146,30 +300,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				report:    func(d Diagnostic) { raw = append(raw, d) },
+				facts:     facts,
+				derived:   derivedAnns,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 
-		// Index annotations by (file, line) for suppression lookup.
-		type key struct {
-			file string
-			line int
-		}
-		allows := make(map[key][]*allow)
-		var allAllows []*allow
-		for _, f := range pkg.Files {
-			for _, al := range collectAllows(pkg.Fset, f) {
-				allows[key{al.pos.Filename, al.pos.Line}] = append(allows[key{al.pos.Filename, al.pos.Line}], al)
-				allAllows = append(allAllows, al)
-			}
-		}
 		// An annotation is consumed by the first diagnostic it suppresses:
 		// one allow, one finding. Two violations need two annotations.
 		suppress := func(d Diagnostic) bool {
 			for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-				for _, al := range allows[key{d.Pos.Filename, line}] {
+				for _, al := range allows[annKey{d.Pos.Filename, line}] {
 					if !al.used && al.rule == d.Rule && al.reason != "" {
 						al.used = true
 						return true
@@ -179,6 +322,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return false
 		}
 		for _, d := range raw {
+			if pkg.Generated[d.Pos.Filename] {
+				continue
+			}
 			if !suppress(d) {
 				all = append(all, d)
 			}
@@ -194,6 +340,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			case known[al.rule] && !al.used:
 				all = append(all, Diagnostic{Pos: al.pos, Rule: AllowRule,
 					Message: fmt.Sprintf("optolint:allow %s suppresses nothing; remove it", al.rule)})
+			}
+		}
+		// Derived-annotation hygiene is only meaningful when the analyzer
+		// that consumes them ran — a partial suite must not flag annotations
+		// it never evaluated.
+		if known["snapshotcomplete"] {
+			for _, d := range allDerived {
+				switch {
+				case d.reason == "":
+					all = append(all, Diagnostic{Pos: d.pos, Rule: AllowRule,
+						Message: "optolint:derived needs a reason saying what the field is recomputed from"})
+				case !d.used:
+					all = append(all, Diagnostic{Pos: d.pos, Rule: AllowRule,
+						Message: "optolint:derived marks nothing snapshotcomplete checks; remove it"})
+				}
 			}
 		}
 	}
@@ -218,7 +379,10 @@ func Analyzers() []*Analyzer {
 		RNGStreamAnalyzer,
 		WheelDisciplineAnalyzer,
 		JSONTagsAnalyzer,
-		MailboxOrderAnalyzer,
+		SnapshotCompleteAnalyzer,
+		ShardBarrierAnalyzer,
+		MergeCompleteAnalyzer,
+		HandlerIDCompleteAnalyzer,
 	}
 }
 

@@ -34,8 +34,56 @@ func TestJSONTags(t *testing.T) {
 	linttest.Run(t, testdata(t, "jsontags"), "repro/internal/report", lint.JSONTagsAnalyzer)
 }
 
-func TestMailboxOrder(t *testing.T) {
-	linttest.Run(t, testdata(t, "mailboxorder"), "repro/internal/network", lint.MailboxOrderAnalyzer)
+func TestShardBarrier(t *testing.T) {
+	linttest.Run(t, testdata(t, "shardbarrier"), "repro/internal/network", lint.ShardBarrierAnalyzer)
+}
+
+func TestSnapshotComplete(t *testing.T) {
+	linttest.Run(t, testdata(t, "snapshotcomplete"), "repro/internal/network", lint.SnapshotCompleteAnalyzer)
+}
+
+func TestMergeComplete(t *testing.T) {
+	linttest.Run(t, testdata(t, "mergecomplete"), "repro/internal/network", lint.MergeCompleteAnalyzer)
+}
+
+// TestHandlerIDComplete loads the kind-declaring package first and the
+// dispatching package second, so the declared-kind and resolver-coverage
+// facts must flow across the package boundary for any of the dispatch-side
+// expectations to fire.
+func TestHandlerIDComplete(t *testing.T) {
+	linttest.RunDirs(t, nil,
+		[]lint.DirSpec{
+			{Dir: testdata(t, "handlerkinds"), Path: "repro/internal/simkinds"},
+			{Dir: testdata(t, "handlerdispatch"), Path: "repro/internal/network"},
+		},
+		lint.HandlerIDCompleteAnalyzer)
+}
+
+// TestHandlerFactsMissing: loading only the dispatch package (its imports
+// resolved from source but not analyzed) must yield no diagnostics — with
+// the kind namespace fact absent, the analyzer skips rather than guesses.
+func TestHandlerFactsMissing(t *testing.T) {
+	pkgs, err := lint.LoadDirs(nil,
+		lint.DirSpec{Dir: testdata(t, "handlerkinds"), Path: "repro/internal/simkinds"},
+		lint.DirSpec{Dir: testdata(t, "handlerdispatch"), Path: "repro/internal/network"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analyze only the dispatch package; the kinds package never runs, so
+	// its HandlerKindsFact is never exported.
+	diags, err := lint.Run(pkgs[1:], []*lint.Analyzer{lint.HandlerIDCompleteAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		// The raw-literal and same-package delegation checks need no fact;
+		// the namespace-dependent ones (undeclared kind, root completeness)
+		// must stay silent without it.
+		if strings.Contains(d.Message, "HTickD") || strings.Contains(d.Message, "not a declared handler kind") {
+			t.Errorf("fact-dependent diagnostic fired without facts: %s", d)
+		}
+	}
 }
 
 // TestDSESimCore: the design-space exploration package is sim-core — a
@@ -101,6 +149,42 @@ func TestMalformedAllows(t *testing.T) {
 	}
 }
 
+// TestMalformedDerived: a bare //optolint:derived (no reason) is a finding
+// whenever snapshotcomplete is in the suite.
+func TestMalformedDerived(t *testing.T) {
+	pkg, err := lint.LoadDir(testdata(t, "derivedbare"), "repro/internal/network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.SnapshotCompleteAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if diags[0].Rule != lint.AllowRule || !strings.Contains(diags[0].Message, "optolint:derived needs a reason") {
+		t.Errorf("unexpected diagnostic: %s", diags[0])
+	}
+}
+
+// TestDerivedHygieneGated: the same package under a suite without
+// snapshotcomplete reports nothing — a partial suite must not flag
+// annotations it never evaluated.
+func TestDerivedHygieneGated(t *testing.T) {
+	pkg, err := lint.LoadDir(testdata(t, "derivedbare"), "repro/internal/network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.DeterminismAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("diagnostic from gated-off hygiene: %s", d)
+	}
+}
+
 // TestSimCoreGate: the same violations produce nothing outside sim-core.
 func TestSimCoreGate(t *testing.T) {
 	pkg, err := lint.LoadDir(testdata(t, "determinism"), "repro/cmd/experiment")
@@ -116,6 +200,66 @@ func TestSimCoreGate(t *testing.T) {
 	}
 }
 
+// TestLoadDirsBuildTags: the default build must not see the simdebug half
+// of a tag-split package, and the simdebug build must.
+func TestLoadDirsBuildTags(t *testing.T) {
+	spec := lint.DirSpec{Dir: testdata(t, "tagged"), Path: "repro/internal/network"}
+	run := func(tags []string) []lint.Diagnostic {
+		t.Helper()
+		pkgs, err := lint.LoadDirs(tags, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := lint.Run(pkgs, []*lint.Analyzer{lint.DeterminismAnalyzer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+	if diags := run(nil); len(diags) != 0 {
+		t.Errorf("default build sees tagged file: %v", diags)
+	}
+	diags := run([]string{"simdebug"})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "time.Now") {
+		t.Errorf("simdebug build: got %v, want one time.Now finding", diags)
+	}
+}
+
+// TestGeneratedFilesExcluded: identical violations in a generated and a
+// hand-written file; only the hand-written one survives.
+func TestGeneratedFilesExcluded(t *testing.T) {
+	pkg, err := lint.LoadDir(testdata(t, "generated"), "repro/internal/network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.DeterminismAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if base := filepath.Base(diags[0].Pos.Filename); base != "live.go" {
+		t.Errorf("finding in %s, want live.go", base)
+	}
+}
+
+// TestSnapshotCompleteNoSnapshotFile: packages without a snapshot.go are
+// out of the rule's scope entirely.
+func TestSnapshotCompleteNoSnapshotFile(t *testing.T) {
+	pkg, err := lint.LoadDir(testdata(t, "determinism"), "repro/internal/network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.SnapshotCompleteAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("diagnostic without a snapshot.go: %s", d)
+	}
+}
+
 // TestSuiteCleanOnRepo is the self-test CI relies on indirectly: the full
 // analyzer suite over the real module must be finding-free. It exercises the
 // go list loader end to end.
@@ -124,6 +268,25 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 		t.Skip("loads and type-checks the whole module")
 	}
 	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding: %s", d)
+	}
+}
+
+// TestSuiteCleanOnRepoSimdebug is the same self-test under the assertion
+// build: debug-only sources must satisfy the suite too.
+func TestSuiteCleanOnRepoSimdebug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := lint.LoadTags("../..", []string{"simdebug"})
 	if err != nil {
 		t.Fatal(err)
 	}

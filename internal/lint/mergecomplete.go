@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// MergeCompleteAnalyzer guards the merge-on-read contract of the sharded
+// core: measurement state lives in per-shard counters (summed lazily by the
+// coordinator's accessors), so a counter added to the shard struct without a
+// corresponding read in a loop over the shard slice silently reports
+// shard-0-only numbers — wrong at K>1, and invisible to the equivalence
+// tests, which compare shard counts against each other, not against the
+// true total. For every coordinator/shard pair (see ShardBarrierAnalyzer's
+// structural detection), every counter-like shard field — underlying int64,
+// or a *Histogram-named type — must be read somewhere in a `for … range`
+// over a []*shard value, outside snapshot.go (the checkpoint surface copies
+// counters per shard and must not count as merging them).
+var MergeCompleteAnalyzer = &Analyzer{
+	Name: "mergecomplete",
+	Doc: "per-shard counter and histogram fields must be read in a range " +
+		"over the shard slice (merge-on-read), so no metric is shard-0-only",
+	Run: runMergeComplete,
+}
+
+func runMergeComplete(pass *Pass) error {
+	if !isSimCore(pass.Path) {
+		return nil
+	}
+	pairs := coordShardPairs(pass)
+	if len(pairs) == 0 {
+		return nil
+	}
+	for _, pair := range pairs {
+		checkPairMerge(pass, pair)
+	}
+	return nil
+}
+
+// counterField reports whether a shard field is measurement state: an
+// int64-underlying counter (plain int64, sim.Cycle extrema) or a histogram.
+// Plain ints (indices, sizes) and everything else are structural state,
+// merged — if at all — by other means.
+func counterField(v *types.Var) bool {
+	t := v.Type()
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Int64 {
+		return true
+	}
+	if n, ok := t.(*types.Named); ok && strings.Contains(n.Obj().Name(), "Histogram") {
+		return true
+	}
+	return false
+}
+
+func checkPairMerge(pass *Pass, pair coordShardPair) {
+	st, ok := pair.shard.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	counters := make(map[*types.Var]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); counterField(f) {
+			counters[f] = false // false = not yet seen merged
+		}
+	}
+	if len(counters) == 0 {
+		return
+	}
+
+	// Mark every counter that is read through the value variable of a range
+	// over a []*shard expression. Writes through the range variable (counter
+	// resets, restore loops) do not count: a reset loop proves nothing about
+	// the read path.
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		if filepath.Base(fname) == "snapshot.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok || !isShardSlice(tv.Type, pair.shard) {
+				return true
+			}
+			vid, ok := rng.Value.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			vobj := pass.TypesInfo.Defs[vid]
+			if vobj == nil {
+				return true
+			}
+			markMergedReads(pass, rng.Body, vobj, counters)
+			return true
+		})
+	}
+
+	// Report unmerged counters at their declaration.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != pair.shard.Obj().Name() {
+				return true
+			}
+			stAST, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range stAST.Fields.List {
+				for _, name := range fl.Names {
+					fv, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					merged, isCounter := counters[fv]
+					if isCounter && !merged {
+						pass.Reportf(name.Pos(), "per-shard counter %s.%s is never read in a range over []*%s: merge-on-read is incomplete, so readers would see shard-0-only numbers",
+							pair.shard.Obj().Name(), name.Name, pair.shard.Obj().Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isShardSlice reports whether t is []*S.
+func isShardSlice(t types.Type, shard *types.Named) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	p, ok := sl.Elem().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n == shard
+}
+
+// markMergedReads records which counters are read (not written) as
+// `<rangevar>.field` inside body.
+func markMergedReads(pass *Pass, body *ast.BlockStmt, rangeVar types.Object, counters map[*types.Var]bool) {
+	// Collect the selector nodes that are pure write targets so a counter
+	// reset inside a shard loop does not masquerade as a merge.
+	writeTargets := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writeTargets[lhs] = true
+			}
+		case *ast.IncDecStmt:
+			writeTargets[n.X] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || writeTargets[sel] {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[base] != rangeVar {
+			return true
+		}
+		if fv, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok {
+			if _, isCounter := counters[fv]; isCounter {
+				counters[fv] = true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,33 @@
+// Package handmut is a minimal clean handler-dispatch package for the
+// mutation harness: declaring a new kind constant without a dispatch arm
+// must wake handleridcomplete.
+package handmut
+
+const (
+	HTick uint8 = 1
+	HPump uint8 = 2
+)
+
+func HandlerKind(id uint64) uint8 { return uint8(id >> 56) }
+
+type Wheel struct{}
+
+func (w *Wheel) RestoreState(ids []uint64, resolve func(uint64) func()) {
+	for _, id := range ids {
+		resolve(id)
+	}
+}
+
+type node struct{ wheel *Wheel }
+
+func (n *node) restore(ids []uint64) { n.wheel.RestoreState(ids, n.resolveHandler) }
+
+func (n *node) resolveHandler(id uint64) func() {
+	switch HandlerKind(id) {
+	case HTick:
+		return func() {}
+	case HPump:
+		return func() {}
+	}
+	return nil
+}

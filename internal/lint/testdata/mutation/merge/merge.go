@@ -1,0 +1,20 @@
+// Package mergemut is a minimal clean merge-on-read package for the
+// mutation harness: removing the merge read must wake mergecomplete.
+package mergemut
+
+type engine struct{ shards []*shard }
+
+type shard struct {
+	eng       *engine
+	delivered int64
+}
+
+func (s *shard) Schedule(fn func()) { fn() }
+
+func (e *engine) Delivered() int64 {
+	var total int64
+	for _, s := range e.shards {
+		total += s.delivered
+	}
+	return total
+}

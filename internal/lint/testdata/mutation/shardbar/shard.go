@@ -1,0 +1,26 @@
+// Package shardmut is a minimal clean staged-write package for the mutation
+// harness: turning the shard-local write into a coordinator write must wake
+// shardbarrier.
+package shardmut
+
+type event struct{ at int }
+
+type engine struct {
+	shards []*shard
+	total  int64
+}
+
+type shard struct {
+	eng    *engine
+	staged []event
+	local  int64
+}
+
+func (s *shard) Schedule(at int) {
+	s.staged = append(s.staged, event{at: at})
+}
+
+func (s *shard) deliver(at int) {
+	s.local++
+	s.Schedule(at)
+}

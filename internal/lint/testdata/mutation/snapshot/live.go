@@ -1,0 +1,13 @@
+// Package snapmut is a minimal clean checkpointed package for the mutation
+// harness: deleting the Acc export line must wake snapshotcomplete.
+package snapmut
+
+type engine struct {
+	cursor int64
+	acc    int64
+}
+
+func (e *engine) step() {
+	e.cursor++
+	e.acc += 2
+}

@@ -1,0 +1,18 @@
+package snapmut
+
+type engineState struct {
+	Cursor int64
+	Acc    int64
+}
+
+func (e *engine) ExportState() engineState {
+	return engineState{
+		Cursor: e.cursor,
+		Acc:    e.acc,
+	}
+}
+
+func (e *engine) RestoreState(st engineState) {
+	e.cursor = st.Cursor
+	e.acc = st.Acc
+}

@@ -1,0 +1,12 @@
+// Package derivedbare holds the derived annotation linttest cannot express
+// inline (a trailing comment would become the reason): a bare
+// //optolint:derived with no reason is itself a finding, and it does not
+// excuse the field it sits above.
+package derivedbare
+
+type box struct {
+	//optolint:derived
+	cache int64
+}
+
+func (b *box) bump() { b.cache++ }

@@ -1,0 +1,8 @@
+// Package generatedtest pairs a generated file with a hand-written one,
+// each holding the same violation; only the hand-written one may report.
+package generatedtest
+
+import "time"
+
+// Live is the hand-written violation that must survive.
+func Live() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,46 @@
+// Package handlerdispatchtest is the dispatching side of the
+// handleridcomplete cross-package test: it imports the kind namespace (the
+// analyzer sees it only through the exported fact) and dispatches over it
+// with one missing kind, one undeclared kind, one raw literal, and one
+// delegation that routes a kind the delegate has no arm for.
+package handlerdispatchtest
+
+import simk "repro/internal/simkinds"
+
+// HLocalKind is kind-shaped but not part of the declared namespace.
+const HLocalKind uint8 = 9
+
+type channel struct{ hits int64 }
+
+// ResolveHandler covers only HTickB, so routing HTickC here is a hole.
+func (c *channel) ResolveHandler(id uint64) func() {
+	switch simk.HandlerKind(id) {
+	case simk.HTickB:
+		return func() { c.hits++ }
+	}
+	return nil
+}
+
+type node struct {
+	wheel *simk.Wheel
+	ch    *channel
+}
+
+// restore marks resolveHandler as a root checkpoint dispatch.
+func (n *node) restore(ids []uint64) {
+	n.wheel.RestoreState(ids, n.resolveHandler)
+}
+
+func (n *node) resolveHandler(id uint64) func() {
+	switch simk.HandlerKind(id) { // want "handleridcomplete: checkpoint dispatch resolveHandler has no arm for handler kind.s. HTickD"
+	case simk.HTickA:
+		return func() {}
+	case simk.HTickB, simk.HTickC:
+		return n.ch.ResolveHandler(id) // want "handleridcomplete: kind HTickC is dispatched to channel.ResolveHandler"
+	case HLocalKind: // want "handleridcomplete: HandlerKind switch arm HLocalKind is not a declared handler kind"
+		return nil
+	case 5: // want "handleridcomplete: HandlerKind switch arm must name a declared H. kind constant"
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package handlerkindstest declares a handler-descriptor namespace and the
+// wheel restore surface, standing in for internal/sim so the
+// handleridcomplete fact flow is exercised across packages: the kind
+// constants are exported as a HandlerKindsFact that the dispatching package
+// (loaded after this one) checks its switch arms against.
+package handlerkindstest
+
+// Handler kinds. HTickD deliberately has no arm in the dispatch package.
+const (
+	HTickA uint8 = 1
+	HTickB uint8 = 2
+	HTickC uint8 = 3
+	HTickD uint8 = 4
+)
+
+// HandlerID packs a descriptor.
+func HandlerID(kind uint8) uint64 { return uint64(kind) << 56 }
+
+// HandlerKind extracts the kind byte of a descriptor.
+func HandlerKind(id uint64) uint8 { return uint8(id >> 56) }
+
+// Wheel is the restore surface the analyzer keys root detection on: the
+// last argument of RestoreState is the checkpoint dispatch.
+type Wheel struct{ ids []uint64 }
+
+// RestoreState resolves each saved descriptor through resolve.
+func (w *Wheel) RestoreState(ids []uint64, resolve func(uint64) func()) {
+	w.ids = append(w.ids[:0], ids...)
+	for _, id := range ids {
+		if fn := resolve(id); fn != nil {
+			fn()
+		}
+	}
+}

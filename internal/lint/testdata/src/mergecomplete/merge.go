@@ -1,0 +1,41 @@
+// Package mergecompletetest exercises the mergecomplete analyzer; linttest
+// loads it under a sim-core import path. engine/shard is the structural
+// coordinator/shard pair; counter-like fields must show up in a
+// merge-on-read loop over the shard slice.
+package mergecompletetest
+
+type Histogram struct{ count, sum int64 }
+
+type engine struct {
+	shards []*shard
+}
+
+type shard struct {
+	eng       *engine
+	delivered int64     // merged below: clean
+	dropped   int64     // want "mergecomplete: per-shard counter shard.dropped is never read"
+	lat       Histogram // want "mergecomplete: per-shard counter shard.lat is never read"
+	resets    int64     // want "mergecomplete: per-shard counter shard.resets is never read"
+	cursor    int       // plain int is structural, not a counter
+}
+
+// Schedule marks shard as the unit of parallelism (pair detection).
+func (s *shard) Schedule(fn func()) { fn() }
+
+// Delivered is the canonical merge-on-read accessor.
+func (e *engine) Delivered() int64 {
+	var total int64
+	for _, s := range e.shards {
+		total += s.delivered
+	}
+	return total
+}
+
+// Reset writes counters through the range variable; a write proves nothing
+// about the read path, so resets stays flagged.
+func (e *engine) Reset() {
+	for _, s := range e.shards {
+		s.resets = 0
+		s.cursor = 0
+	}
+}

@@ -1,0 +1,19 @@
+// The checkpoint surface reads every per-shard counter, but snapshot.go is
+// excluded from merge evidence: copying counters into a snapshot is not the
+// merge-on-read path, so dropped and lat stay flagged.
+package mergecompletetest
+
+type shardState struct {
+	Dropped int64
+	Lat     Histogram
+	Resets  int64
+}
+
+// ExportState copies the counters per shard.
+func (e *engine) ExportState() []shardState {
+	out := make([]shardState, 0, len(e.shards))
+	for _, s := range e.shards {
+		out = append(out, shardState{Dropped: s.dropped, Lat: s.lat, Resets: s.resets})
+	}
+	return out
+}

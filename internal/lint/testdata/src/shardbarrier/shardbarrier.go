@@ -1,0 +1,129 @@
+// Package shardbarriertest exercises the shardbarrier analyzer; linttest
+// loads it under a sim-core import path. It covers both halves of the rule:
+// shard-scope code must not touch coordinator state directly, and mailbox
+// drains must sort before iterating.
+package shardbarriertest
+
+import "sort"
+
+type note struct{ link, until int }
+
+type wheel struct{}
+
+func (w *wheel) ScheduleID(at, id int, fn func()) {}
+
+// engine/shard is the structural coordinator/shard pair the analyzer
+// detects: a []*shard field, a *engine back-reference, and a Schedule
+// method on the shard.
+type engine struct {
+	wheel  *wheel
+	shards []*shard
+	cycles int64
+	counts map[int]int64
+}
+
+type shard struct {
+	eng           *engine
+	delivered     int64
+	downMailbox   []note
+	flightMailbox []note
+	staged        []note // not a mailbox: canonical by construction
+}
+
+// Schedule stages a cross-shard effect for the barrier drain.
+func (s *shard) Schedule(at int, fn func()) {
+	s.staged = append(s.staged, note{link: at})
+}
+
+// Bad: mutating coordinator state inside the parallel window.
+func (s *shard) badCount() {
+	s.eng.cycles++ // want "shardbarrier: write to engine state from shard scope"
+}
+
+// Bad: coordinator map writes race across shards just the same.
+func (s *shard) badMap(k int) {
+	s.eng.counts[k] = 1 // want "shardbarrier: write to engine state from shard scope"
+}
+
+// Bad: scheduling through the coordinator's wheel bypasses the staged
+// replay that makes event order partition-independent.
+func (s *shard) badSchedule(at int) {
+	s.eng.wheel.ScheduleID(at, 0, func() {}) // want "shardbarrier: wheel schedule through engine from shard scope"
+}
+
+// Bad: closures built in shard scope inherit the discipline (the per-shard
+// delivery sinks are exactly this shape).
+func (s *shard) badClosure() func() {
+	return func() { s.eng.cycles++ } // want "shardbarrier: write to engine state from shard scope"
+}
+
+// Good: staging through the shard spool and mutating shard-owned state.
+func (s *shard) goodStage(at int) {
+	s.Schedule(at, func() {})
+	s.delivered++
+}
+
+// nic is an actor stepped by its shard: its methods run inside the parallel
+// window too.
+type nic struct {
+	sh *shard
+}
+
+// Bad: the actor reaching through its shard to coordinator state.
+func (n *nic) badActor() {
+	n.sh.eng.cycles++ // want "shardbarrier: write to engine state from shard scope"
+}
+
+// Good: the actor writing state its own shard owns.
+func (n *nic) goodActor() {
+	n.sh.delivered++
+}
+
+// Good: coordinator scope (no shard receiver or parameter) may write its
+// own state while merging.
+func (e *engine) drainBarrier() {
+	for _, s := range e.shards {
+		e.cycles += s.delivered
+	}
+}
+
+// Bad: draining the mailbox directly in shard order.
+func badDirectDrain(shards []*shard, apply func(note)) {
+	for _, s := range shards {
+		for _, dn := range s.downMailbox { // want "shardbarrier: range over shard mailbox downMailbox"
+			apply(dn)
+		}
+	}
+}
+
+// Bad: merging into a local launders the name but not the shard order.
+func badMergedDrain(shards []*shard, apply func(note)) {
+	var notes []note
+	for _, s := range shards {
+		notes = append(notes, s.downMailbox...)
+	}
+	for _, dn := range notes { // want "shardbarrier: range over notes .filled from a shard mailbox."
+		apply(dn)
+	}
+}
+
+// Good: the canonical drain — merge, sort by edge, then iterate.
+func goodSortedDrain(shards []*shard, apply func(note)) {
+	var notes []note
+	for _, s := range shards {
+		notes = append(notes, s.flightMailbox...)
+	}
+	sort.Slice(notes, func(i, j int) bool { return notes[i].link < notes[j].link })
+	for _, dn := range notes {
+		apply(dn)
+	}
+}
+
+// Good: non-mailbox spools are replayed in shard order by design.
+func goodStagedReplay(shards []*shard, apply func(note)) {
+	for _, s := range shards {
+		for _, ev := range s.staged {
+			apply(ev)
+		}
+	}
+}

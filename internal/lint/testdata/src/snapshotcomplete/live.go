@@ -1,0 +1,67 @@
+// Package snapshotcompletetest exercises the snapshotcomplete analyzer: the
+// live half of a checkpointed package, with fields covering every verdict
+// the rule can reach (clean, missing-on-one-side, missing-on-both, derived,
+// constructor-only, func-valued, blessed-by-struct-copy, helper-hop).
+package snapshotcompletetest
+
+type engine struct {
+	cursor int64
+	heat   int64 // want "snapshotcomplete: mutable field engine.heat .written at live.go:[0-9]+. is missing from both the export and restore paths"
+	acc    int64 // want "snapshotcomplete: mutable field engine.acc .written at live.go:[0-9]+. is missing from the restore path"
+
+	// latSum is serialized through one-call-hop helpers on both sides.
+	latSum int64
+
+	// cache is rebuilt, not serialized — the derived contract covers it.
+	//optolint:derived recomputed from cursor by reindex after restore
+	cache map[int64]bool
+
+	// wired is written only by the constructor: configuration, not state.
+	wired int64
+
+	// onStep cannot be serialized; hooks are rebuilt by construction.
+	onStep func()
+
+	// stats is copied wholesale across the snapshot boundary, which blesses
+	// its fields too.
+	stats tally
+}
+
+type tally struct {
+	count int64
+	peak  int64
+}
+
+// NewEngine wires an engine; constructor writes do not make fields mutable.
+func NewEngine() *engine {
+	e := &engine{cache: make(map[int64]bool)}
+	e.wired = 1
+	return e
+}
+
+func (e *engine) step(k int64) {
+	e.cursor++
+	e.heat += 2
+	e.acc += 3
+	e.latSum += 4
+	e.cache[k] = true
+	e.onStep = nil
+	e.stats.count++
+	if e.stats.count > e.stats.peak {
+		e.stats.peak = e.stats.count
+	}
+}
+
+// reindex rebuilds the cache from the restored cursor.
+func (e *engine) reindex() {
+	e.cache = map[int64]bool{e.cursor: true}
+}
+
+// immut is never mutated, so a derived marker on it is stale.
+type side struct {
+	//optolint:derived left over from a removed cache // want "allowcheck: optolint:derived marks nothing snapshotcomplete checks; remove it"
+	immut int64
+}
+
+// use gives side a reader so the package compiles naturally.
+func (e *engine) use(s *side) int64 { return s.immut + e.wired }

@@ -1,0 +1,36 @@
+// The serialization surface of the snapshotcomplete testdata package.
+package snapshotcompletetest
+
+type engineState struct {
+	Cursor int64
+	Acc    int64
+	Lat    int64
+	Stats  tally
+}
+
+// ExportState captures the engine. acc crosses here but is never restored;
+// heat is absent on both sides; latSum travels via the latState helper one
+// call hop away.
+func (e *engine) ExportState() engineState {
+	return engineState{
+		Cursor: e.cursor,
+		Acc:    e.acc,
+		Lat:    e.latState(),
+		Stats:  e.stats,
+	}
+}
+
+// latState is deliberately not export-named: it must be found through the
+// one-hop call walk.
+func (e *engine) latState() int64 { return e.latSum }
+
+// RestoreState rebuilds the engine from a snapshot.
+func (e *engine) RestoreState(st engineState) {
+	e.cursor = st.Cursor
+	e.stats = st.Stats
+	e.setLat(st.Lat)
+	e.reindex()
+}
+
+// setLat is deliberately not restore-named: one-hop call walk again.
+func (e *engine) setLat(v int64) { e.latSum = v }

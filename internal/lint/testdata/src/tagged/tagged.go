@@ -1,0 +1,7 @@
+// Package taggedtest is split across build tags: the default build is
+// clean, the simdebug build adds a determinism violation. The loader tests
+// prove tag selection decides which half the analyzers see.
+package taggedtest
+
+// Base is the always-on, clean half.
+func Base() int { return 1 }

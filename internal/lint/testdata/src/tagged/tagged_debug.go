@@ -1,0 +1,8 @@
+//go:build simdebug
+
+package taggedtest
+
+import "time"
+
+// DebugNow violates determinism, visible only under -tags simdebug.
+func DebugNow() int64 { return time.Now().UnixNano() }

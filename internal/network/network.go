@@ -37,9 +37,11 @@ type Network struct {
 	// Sharded core (DESIGN.md §6g). Even a single-shard network runs
 	// through shard 0 — the canonical engine is the only engine, so the
 	// shard count is purely a performance knob.
-	shards     []*shard
-	runner     *shardrun.Pool // nil when len(shards) == 1
-	tasks      []func()
+	shards []*shard
+	//optolint:derived worker pool rebuilt at construction; Close tears it down
+	runner *shardrun.Pool // nil when len(shards) == 1
+	tasks  []func()
+	//optolint:derived transient: stamped at the top of every Step, meaningless between steps
 	stepNow    sim.Cycle // cycle the current parallel region runs at
 	perCol     int       // actor ids per mesh column (see shard.go)
 	shardWidth int       // mesh columns per shard
@@ -80,6 +82,7 @@ type Network struct {
 	// Fast-forward state: RunTo and RunUntilQuiescent skip idle gaps unless
 	// disabled (see SetFastForward). Skips and skipped cycles are counted
 	// for diagnostics and tests.
+	//optolint:derived run-mode toggle, not simulated state: FF on and off are result-equivalent by construction
 	ffDisabled bool
 	ffSkips    int64
 	ffCycles   int64
@@ -91,10 +94,12 @@ type Network struct {
 	wdDropped   int64 // packets killed by the watchdog scan (coordinator)
 
 	// Coordinator scratch, reused across cycles and summaries.
-	qHist         stats.Histogram   // merged-quantile scratch
-	levelScratch  []int             // LevelHistogram buckets, allocated at build
+	qHist        stats.Histogram // merged-quantile scratch
+	levelScratch []int           // LevelHistogram buckets, allocated at build
+	//optolint:derived drain scratch, reused across cycles, never holds state across a step boundary
 	flightScratch []telemetry.Event // flight-spool drain scratch
-	downScratch   []downNote        // down-notification drain scratch
+	//optolint:derived drain scratch, reused across cycles, never holds state across a step boundary
+	downScratch []downNote // down-notification drain scratch
 
 	// OnDeliver, when set, observes every delivered packet (measured or
 	// not) — used by the experiment harnesses to build time series.
@@ -103,7 +108,8 @@ type Network struct {
 	// telem is the telemetry registry, nil unless cfg.Telemetry.Enabled;
 	// telemLat is its "packet_latency" histogram, cached for the delivery
 	// hot path.
-	telem    *telemetry.Registry
+	telem *telemetry.Registry
+	//optolint:derived cache of the registry's packet_latency histogram, re-wired at construction
 	telemLat *stats.Histogram
 }
 

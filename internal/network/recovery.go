@@ -92,7 +92,9 @@ type recovery struct {
 	live [][4]bool
 	// reach[src*R+dst] reports whether a path of live mesh links connects
 	// the two routers.
-	reach    []bool
+	//optolint:derived recomputed from the live-link table by recompute() on restore
+	reach []bool
+	//optolint:derived BFS scratch, reused across recompute calls
 	bfsQueue []int
 
 	scanArmed bool

@@ -54,18 +54,22 @@ type shard struct {
 
 	// entries is this shard's slice of the cycle's canonical event order,
 	// assigned by the coordinator before the region.
+	//optolint:derived transient: assigned and consumed within one Step, nil at the boundary
 	entries []sim.Entry
 
 	// staged collects wheel schedules; the coordinator replays them in
 	// shard order, which — because every ordering key is produced by one
 	// shard, in a window-position order that K cannot change — assigns
 	// sequence numbers in a K-invariant order per key.
+	//optolint:derived drained every cycle; ExportState refuses undrained spools, so it is empty at the boundary
 	staged []stagedEv
 
 	activeOuts []*router.Output
 	activeNICs []*NIC
-	spareOuts  []*router.Output // second buffer for the work-list swap
-	spareNICs  []*NIC
+	//optolint:derived work-list swap scratch, holds no state across cycles
+	spareOuts []*router.Output // second buffer for the work-list swap
+	//optolint:derived work-list swap scratch, holds no state across cycles
+	spareNICs []*NIC
 
 	inj  injHeap
 	pool router.Pool // per-shard free list: packets are freed where they die
@@ -86,13 +90,20 @@ type shard struct {
 
 	// wantScan notes that something activated this window; the coordinator
 	// aggregates it into one watchdog-scan arming decision per cycle.
+	//optolint:derived consumed by the coordinator every cycle, always false at the boundary
 	wantScan bool
 
-	// Spools drained by the coordinator at the end of the cycle.
+	// Spools drained by the coordinator at the end of the cycle. All four
+	// are empty at every step boundary — ExportState refuses undrained
+	// spools — so restore has nothing to rebuild.
+	//optolint:derived drained every cycle; empty at the boundary (ExportState enforces it)
 	flightMailbox []telemetry.Event // flight-recorder events, sorted by link on drain
-	downMailbox   []downNote        // escalated link resets, sorted by link on drain
-	latVals       []sim.Cycle       // measured latencies for the telemetry histogram
-	deliveries    []deliveredPkt    // packets awaiting the OnDeliver hook
+	//optolint:derived drained every cycle; empty at the boundary (ExportState enforces it)
+	downMailbox []downNote // escalated link resets, sorted by link on drain
+	//optolint:derived drained every cycle; empty at the boundary (ExportState enforces it)
+	latVals []sim.Cycle // measured latencies for the telemetry histogram
+	//optolint:derived drained every cycle; empty at the boundary (ExportState enforces it)
+	deliveries []deliveredPkt // packets awaiting the OnDeliver hook
 }
 
 // Schedule implements router.Sched: stage the request for the barrier.

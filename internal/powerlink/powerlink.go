@@ -211,7 +211,9 @@ type Link struct {
 	disabledFor sim.Cycle // total cycles spent with the link disabled
 
 	// CDR relock fault injection (nil = relocks always succeed).
-	relock      RelockFaults
+	//optolint:derived fault-injector wiring, re-installed by SetRelockFaults at construction
+	relock RelockFaults
+	//optolint:derived fault-injector wiring, re-installed by SetRelockFaults at construction
 	relockMax   int
 	relockRetry int
 	relockFails int

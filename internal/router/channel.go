@@ -133,11 +133,14 @@ type Channel struct {
 	// watchdog); deliverKey orders events that mutate the downstream
 	// receiver (lossless delivery, reliable rx-accept). Both default to 0
 	// for standalone channels; SetKeys assigns them in a sharded network.
-	selfKey    uint64
+	//optolint:derived ordering key assigned once by SetKeys during construction
+	selfKey uint64
+	//optolint:derived ordering key assigned once by SetKeys during construction
 	deliverKey uint64
 
 	// link is the channel's global link index — the obj field of its
 	// checkpoint handler descriptors. Standalone channels leave it 0.
+	//optolint:derived global link index assigned once by SetLink during construction
 	link uint32
 
 	busyUntilMC int64   // milli-cycles; channel idle when <= now*1000

@@ -51,6 +51,7 @@ type Packet struct {
 	Killed     bool
 	KillRouter int
 
+	//optolint:derived pool free-list linkage; a snapshotted packet is live, never pooled
 	next *Packet // pool linkage
 }
 

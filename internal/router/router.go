@@ -95,14 +95,17 @@ type Router struct {
 }
 
 type inputVC struct {
-	buf       *Buffer
-	route     int     // output port for the current packet, -1 when unset
-	outVC     int     // allocated output VC at that port, -1 when unset
-	vcMask    uint32  // downstream VCs the current packet may claim
-	curPkt    *Packet // packet whose wormhole currently owns this input VC
-	inReq     bool    // currently queued in an output's request list
-	upstream  CreditSink
-	upVC      int
+	buf    *Buffer
+	route  int     // output port for the current packet, -1 when unset
+	outVC  int     // allocated output VC at that port, -1 when unset
+	vcMask uint32  // downstream VCs the current packet may claim
+	curPkt *Packet // packet whose wormhole currently owns this input VC
+	inReq  bool    // currently queued in an output's request list
+	//optolint:derived credit-return wiring re-installed by SetUpstream during construction
+	upstream CreditSink
+	//optolint:derived credit-return wiring re-installed by SetUpstream during construction
+	upVC int
+	//optolint:derived credit-return wiring re-installed by SetUpstream during construction
 	creditKey uint64 // ordering key for credit returns: (upstream actor, us)
 	// creditsInFlight counts credit returns scheduled but not yet
 	// delivered upstream. Burst discards put several in flight at once;
@@ -124,6 +127,7 @@ type inputVC struct {
 type Output struct {
 	router *Router
 	port   int
+	//optolint:derived physical-channel wiring re-installed by ConnectOutput during construction
 	ch     *Channel
 	ovc    []outVC
 	req    []int // input-VC indices with a ready HOL flit routed here

@@ -46,15 +46,18 @@ type Entry struct {
 //     long as every key has a single deterministic producer. The parallel
 //     network engine uses this; see DESIGN.md §6g.
 type Wheel struct {
-	buckets   [][]Entry
-	occ       []uint64 // bit b set iff buckets[b] is non-empty
-	mask      Cycle
-	now       Cycle
-	horizon   Cycle
-	far       farHeap
-	pending   int
-	seq       uint64
-	run       []Entry // BeginCycle scratch, reused across cycles
+	buckets [][]Entry
+	//optolint:derived occupancy bitmap, rebuilt by the restore path's re-inserts
+	occ     []uint64 // bit b set iff buckets[b] is non-empty
+	mask    Cycle
+	now     Cycle
+	horizon Cycle
+	far     farHeap
+	pending int
+	seq     uint64
+	//optolint:derived BeginCycle scratch, reused across cycles
+	run []Entry // BeginCycle scratch, reused across cycles
+	//optolint:derived re-entrancy guard, false whenever the wheel is quiescent enough to export
 	advancing bool
 }
 
